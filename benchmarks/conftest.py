@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+One :class:`BenchmarkSuite` is generated per session (scale configurable via
+``REPRO_BENCH_SCALE``, default 400 ≈ 16k triples emulating WatDiv100M), and
+every rendered table/figure is both printed and written under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchmarkConfig, BenchmarkSuite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchmarkSuite:
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "400"))
+    return BenchmarkSuite(BenchmarkConfig(scale=scale))
+
+
+@pytest.fixture(scope="session")
+def system_runs(suite):
+    """Figure 3's runs (all four systems), computed once and shared with the
+    Table 2 benchmark."""
+    return suite.run_all_systems()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return save

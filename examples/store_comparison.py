@@ -1,0 +1,79 @@
+"""Domain scenario: choosing an RDF store for an unknown workload.
+
+The paper's conclusion argues PRoST suits "real-world applications, for
+which the query type and the dataset are unknown a priori". This example
+plays that situation out: load one dataset into all four systems and compare
+loading cost, storage footprint, and the latency profile across a selective
+lookup, a star, and a join-heavy query.
+
+Run with::
+
+    python examples/store_comparison.py
+"""
+
+from repro.baselines import Rya, RyaCostModel, S2Rdf, SparqlGx, SparqlGxDirect
+from repro.core import ProstEngine
+from repro.engine.cluster import ClusterConfig
+from repro.watdiv import generate_watdiv
+from repro.watdiv.schema import FOAF, REV, SORG, WSDBM
+
+
+def build_queries(dataset) -> dict[str, str]:
+    user = dataset.placeholder("user", 1).n3()
+    return {
+        "point lookup": f"SELECT ?n WHERE {{ {user} <{FOAF}givenName> ?n }}",
+        "star": f"""
+            SELECT ?p ?caption ?desc WHERE {{
+                ?p <{SORG}caption>     ?caption .
+                ?p <{SORG}description> ?desc .
+                ?p <{SORG}language>    ?lang .
+            }}
+        """,
+        "join-heavy": f"""
+            SELECT ?buyer ?product ?reviewer WHERE {{
+                ?buyer   <{WSDBM}makesPurchase> ?purchase .
+                ?purchase <{WSDBM}purchaseFor>  ?product .
+                ?product <{REV}hasReview>       ?review .
+                ?review  <{REV}reviewer>        ?reviewer .
+            }}
+        """,
+    }
+
+
+def main() -> None:
+    dataset = generate_watdiv(scale=250, seed=3)
+    data_scale = 100_000_000 / len(dataset.graph)  # emulate WatDiv100M
+    config = ClusterConfig(num_workers=9, data_scale=data_scale)
+    queries = build_queries(dataset)
+
+    systems = [
+        ProstEngine(cluster_config=config),
+        S2Rdf(cluster_config=config),
+        SparqlGx(cluster_config=config),
+        SparqlGxDirect(cluster_config=config),
+        Rya(cost_model=RyaCostModel(data_scale=data_scale)),
+    ]
+
+    print(f"{'system':<13} {'load':>10} {'storage':>10} "
+          + "".join(f"{name:>16}" for name in queries))
+    for system in systems:
+        report = system.load(dataset.graph)
+        cells = [
+            f"{report.simulated_sec:>9.0f}s",
+            f"{report.stored_bytes * data_scale / 1e9:>8.1f}GB",
+        ]
+        for query in queries.values():
+            result = system.sparql(query)
+            cells.append(f"{result.report.simulated_sec * 1000:>14,.0f}ms")
+        print(f"{system.name:<13} " + " ".join(cells))
+
+    print(
+        "\nReading the profile (paper §5): Rya flies on the point lookup but"
+        "\ncollapses on the join-heavy query; S2RDF pays hours of loading for"
+        "\nits query speed; SPARQLGX is lean but slow to query; PRoST is the"
+        "\nall-rounder — fast loading AND consistently good latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Reproduce the paper's evaluation on a laptop-scale WatDiv dataset.
+
+Generates a WatDiv-style graph, runs the 20-query basic testing set on all
+four systems (PRoST, S2RDF, Rya, SPARQLGX), and prints the paper's Table 1,
+Figure 2, Figure 3, and Table 2 with simulated 100M-triple cluster timings.
+
+Run with::
+
+    python examples/watdiv_benchmark.py [scale]
+"""
+
+import sys
+
+from repro.bench import (
+    BenchmarkConfig,
+    BenchmarkSuite,
+    render_figure2,
+    render_figure3,
+    render_table1,
+    render_table2,
+)
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    suite = BenchmarkSuite(BenchmarkConfig(scale=scale))
+    triples = len(suite.dataset.graph)
+    print(
+        f"WatDiv scale={scale}: {triples:,} triples "
+        f"(cost model emulates WatDiv100M, factor {suite.data_scale:,.0f}x)\n"
+    )
+
+    print(render_table1(suite.run_loading_comparison(), suite.data_scale), "\n")
+
+    runs = suite.run_strategy_comparison()
+    print(render_figure2(runs), "\n")
+
+    system_runs = suite.run_all_systems()
+    print(render_figure3(system_runs), "\n")
+    print(render_table2(system_runs))
+
+
+if __name__ == "__main__":
+    main()

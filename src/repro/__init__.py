@@ -1,0 +1,49 @@
+"""PRoST reproduction: distributed SPARQL over mixed RDF partitioning.
+
+Reproduces Cossu, Färber & Lausen, *"PRoST: Distributed Execution of SPARQL
+Queries Using Mixed Partitioning Strategies"* (EDBT 2018) as a pure-Python
+library: the PRoST engine itself (Vertical Partitioning + Property Table with
+statistics-guided Join Trees), the substrates it runs on (a Spark-like
+DataFrame engine with a calibrated cluster cost model, a Parquet-like
+columnar store, a simulated HDFS), the three baseline systems of the paper's
+evaluation (S2RDF, SPARQLGX, Rya), and a WatDiv-style workload generator.
+
+Quickstart::
+
+    from repro import ProstEngine
+    from repro.watdiv import generate_watdiv
+
+    dataset = generate_watdiv(scale=300, seed=7)
+    engine = ProstEngine(num_workers=9)
+    engine.load(dataset.graph)
+    for row in engine.sparql("SELECT ?s ?o WHERE { ?s wsdbm:likes ?o } LIMIT 5"):
+        print(row)
+"""
+
+from .core.loader import LoadReport
+from .core.prost import ProstEngine
+from .core.results import QueryExecutionReport, ResultSet
+from .errors import ReproError
+from .rdf.graph import Graph
+from .rdf.ntriples import parse_ntriples_file, parse_ntriples_string
+from .rdf.terms import IRI, BlankNode, Literal, Triple
+from .sparql.parser import parse_sparql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlankNode",
+    "Graph",
+    "IRI",
+    "Literal",
+    "LoadReport",
+    "ProstEngine",
+    "QueryExecutionReport",
+    "ReproError",
+    "ResultSet",
+    "Triple",
+    "__version__",
+    "parse_ntriples_file",
+    "parse_ntriples_string",
+    "parse_sparql",
+]

@@ -1,0 +1,169 @@
+"""Benchmark harness reproducing the paper's evaluation (§4).
+
+The harness generates a WatDiv-style dataset, loads it into each system with
+the cluster cost model emulating the paper's setup (9 workers, Gigabit
+Ethernet, dataset emulated at 100M triples via ``data_scale``), runs the
+20-query basic set, and produces the rows behind Table 1, Table 2, Figure 2,
+and Figure 3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..baselines.rya import Rya, RyaCostModel
+from ..baselines.s2rdf import S2Rdf
+from ..baselines.sparqlgx import SparqlGx
+from ..core.loader import LoadReport
+from ..core.prost import ProstEngine
+from ..engine.cluster import ClusterConfig
+from ..sparql.parser import parse_sparql
+from ..watdiv.generator import WatDivDataset, generate_watdiv
+from ..watdiv.queries import QUERY_GROUPS, BenchmarkQuery, basic_query_set
+
+#: The paper's dataset size, which ``data_scale`` emulates.
+EMULATED_TRIPLES = 100_000_000
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Knobs of one benchmark run.
+
+    Attributes:
+        scale: WatDiv generator scale (≈ users; triples ≈ 60 × scale).
+        seed: generator seed.
+        num_workers: simulated Spark workers / tablet servers (paper: 9).
+        emulated_triples: dataset size the cost model emulates (paper: 100M).
+        s2rdf_threshold: ExtVP selectivity persistence threshold.
+    """
+
+    scale: int = 400
+    seed: int = 7
+    num_workers: int = 9
+    emulated_triples: int = EMULATED_TRIPLES
+    s2rdf_threshold: float = 0.75
+
+
+@dataclass
+class QueryResult:
+    """One (system, query) measurement."""
+
+    system: str
+    query: str
+    group: str
+    rows: int
+    simulated_sec: float
+    wall_clock_sec: float
+
+
+@dataclass
+class SystemRun:
+    """All measurements of one system over the full query set."""
+
+    system: str
+    load_report: LoadReport
+    queries: dict[str, QueryResult] = field(default_factory=dict)
+
+    def average_by_group(self) -> dict[str, float]:
+        """Mean simulated seconds per query-shape class (Table 2)."""
+        averages: dict[str, float] = {}
+        for group in QUERY_GROUPS:
+            times = [
+                result.simulated_sec
+                for result in self.queries.values()
+                if result.group == group
+            ]
+            if times:
+                averages[group] = sum(times) / len(times)
+        return averages
+
+
+class BenchmarkSuite:
+    """Generates the workload once and runs systems against it."""
+
+    def __init__(self, config: BenchmarkConfig | None = None):
+        self.config = config or BenchmarkConfig()
+        self.dataset: WatDivDataset = generate_watdiv(
+            scale=self.config.scale, seed=self.config.seed
+        )
+        self.queries: list[BenchmarkQuery] = basic_query_set(self.dataset)
+        self._parsed = {q.name: parse_sparql(q.text) for q in self.queries}
+
+    @property
+    def data_scale(self) -> float:
+        """Emulation factor: paper-scale triples over generated triples."""
+        return self.config.emulated_triples / len(self.dataset.graph)
+
+    def cluster_config(self) -> ClusterConfig:
+        return ClusterConfig(
+            num_workers=self.config.num_workers, data_scale=self.data_scale
+        )
+
+    # -- system factories --------------------------------------------------------
+
+    def make_prost(self, strategy: str = "mixed", **kwargs) -> ProstEngine:
+        return ProstEngine(
+            strategy=strategy, cluster_config=self.cluster_config(), **kwargs
+        )
+
+    def make_sparqlgx(self) -> SparqlGx:
+        return SparqlGx(cluster_config=self.cluster_config())
+
+    def make_s2rdf(self) -> S2Rdf:
+        return S2Rdf(
+            selectivity_threshold=self.config.s2rdf_threshold,
+            cluster_config=self.cluster_config(),
+        )
+
+    def make_rya(self) -> Rya:
+        return Rya(
+            num_tablet_servers=self.config.num_workers,
+            cost_model=RyaCostModel(data_scale=self.data_scale),
+        )
+
+    # -- running --------------------------------------------------------------------
+
+    def run_system(self, system) -> SystemRun:
+        """Load the dataset into ``system`` and run all 20 queries."""
+        load_report = system.load(self.dataset.graph)
+        run = SystemRun(system=system.name, load_report=load_report)
+        for query in self.queries:
+            parsed = self._parsed[query.name]
+            started = time.perf_counter()
+            result_set = system.sparql(parsed)
+            wall = time.perf_counter() - started
+            run.queries[query.name] = QueryResult(
+                system=system.name,
+                query=query.name,
+                group=query.group,
+                rows=len(result_set),
+                simulated_sec=result_set.report.simulated_sec,
+                wall_clock_sec=wall,
+            )
+        return run
+
+    def run_all_systems(self) -> dict[str, SystemRun]:
+        """Figure 3 / Table 2: PRoST and the three baselines."""
+        runs = {}
+        for factory in (self.make_prost, self.make_s2rdf, self.make_rya, self.make_sparqlgx):
+            system = factory()
+            runs[system.name] = self.run_system(system)
+        return runs
+
+    def run_strategy_comparison(self) -> dict[str, SystemRun]:
+        """Figure 2: PRoST with VP only vs the mixed strategy."""
+        vp_only = self.make_prost(strategy="vp")
+        mixed = self.make_prost(strategy="mixed")
+        return {
+            "VP only": self.run_system(vp_only),
+            "Mixed (VP + PT)": self.run_system(mixed),
+        }
+
+    def run_loading_comparison(self) -> list[LoadReport]:
+        """Table 1: size and loading time for all four systems."""
+        reports = []
+        for factory in (self.make_prost, self.make_sparqlgx, self.make_s2rdf, self.make_rya):
+            system = factory()
+            reports.append(system.load(self.dataset.graph))
+        return reports

@@ -1,0 +1,192 @@
+"""Text rendering of the paper's tables and figures.
+
+Each function returns a plain-text block shaped like the corresponding paper
+artifact (Table 1, Figure 2, Figure 3, Table 2), with a "paper reports"
+footer stating the expected shape so a reader can eyeball the reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.loader import LoadReport
+from ..watdiv.queries import QUERY_GROUPS, QUERY_NAMES
+from .harness import SystemRun
+
+_GROUP_TITLES = {
+    "C": "Complex",
+    "F": "Snowflake",
+    "L": "Linear",
+    "S": "Star",
+}
+
+
+def _format_bytes_as_emulated_gb(stored_bytes: int, data_scale: float) -> str:
+    return f"{stored_bytes * data_scale / 1e9:.1f} GB"
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 3600:
+        hours = int(seconds // 3600)
+        minutes = int((seconds % 3600) // 60)
+        return f"{hours}h {minutes:02d}m"
+    if seconds >= 60:
+        minutes = int(seconds // 60)
+        secs = int(seconds % 60)
+        return f"{minutes}m {secs:02d}s"
+    return f"{seconds:.1f}s"
+
+
+def render_table1(reports: list[LoadReport], data_scale: float) -> str:
+    """Table 1: storage size and loading time per system."""
+    lines = [
+        "Table 1: Size and loading times (emulated at WatDiv100M scale)",
+        f"{'System':<12} {'Size':>10} {'Load time':>12} {'Tables':>8}",
+    ]
+    for report in reports:
+        lines.append(
+            f"{report.system:<12} "
+            f"{_format_bytes_as_emulated_gb(report.stored_bytes, data_scale):>10} "
+            f"{_format_duration(report.simulated_sec):>12} "
+            f"{report.tables_written:>8}"
+        )
+    lines.append(
+        "paper reports: PRoST 2.1GB/25m32s, SPARQLGX 0.9GB/20m01s, "
+        "S2RDF 6.2GB/3h11m44s, Rya 3.1GB/41m32s"
+    )
+    return "\n".join(lines)
+
+
+def render_per_query_times(
+    runs: dict[str, SystemRun], title: str, log_note: bool = False
+) -> str:
+    """A per-query time matrix (Figures 2 and 3), milliseconds, one row per
+    query in paper order."""
+    systems = list(runs)
+    header = f"{'Query':<7}" + "".join(f"{name:>18}" for name in systems)
+    lines = [title, header]
+    for query_name in QUERY_NAMES:
+        cells = []
+        for system in systems:
+            result = runs[system].queries.get(query_name)
+            cells.append(
+                f"{result.simulated_sec * 1000:>15,.0f}ms" if result else f"{'-':>17}"
+            )
+        lines.append(f"{query_name:<7}" + "".join(cells))
+    if log_note:
+        lines.append("(the paper plots these on a logarithmic scale)")
+    return "\n".join(lines)
+
+
+def render_figure2(runs: dict[str, SystemRun]) -> str:
+    """Figure 2: VP-only vs mixed strategy, per query."""
+    body = render_per_query_times(
+        runs, "Figure 2: Querying time, Vertical Partitioning vs mixed strategy"
+    )
+    return body + (
+        "\npaper reports: mixed outperforms VP-only for almost every query, "
+        "strongly on S/C/F; close to equal on several L queries"
+    )
+
+
+def render_figure3(runs: dict[str, SystemRun]) -> str:
+    """Figure 3: PRoST vs S2RDF vs Rya vs SPARQLGX, per query."""
+    body = render_per_query_times(
+        runs,
+        "Figure 3: Querying time, PRoST vs S2RDF vs Rya vs SPARQLGX",
+        log_note=True,
+    )
+    return body + (
+        "\npaper reports: PRoST faster than S2RDF on F2/S1/S3/S5, slower "
+        "elsewhere (notably C, F3, F4); Rya very fast on selective queries "
+        "but orders of magnitude slower on join-heavy ones; PRoST beats "
+        "SPARQLGX everywhere, mostly by ~an order of magnitude"
+    )
+
+
+def render_table2(runs: dict[str, SystemRun]) -> str:
+    """Table 2: average querying time per query-shape class."""
+    systems = list(runs)
+    lines = [
+        "Table 2: Average querying time by query type (ms)",
+        f"{'Queries':<12}" + "".join(f"{name:>14}" for name in systems),
+    ]
+    for group in QUERY_GROUPS:
+        cells = []
+        for system in systems:
+            averages = runs[system].average_by_group()
+            value = averages.get(group, math.nan)
+            cells.append(f"{value * 1000:>13,.0f}")
+        lines.append(f"{_GROUP_TITLES[group]:<12}" + "".join(cells))
+    lines.append(
+        "paper reports (ms): Complex 9364/3392/2195322/61363, "
+        "Snowflake 5923/1564/369016/24046, Linear 2419/527/49044/18254, "
+        "Star 1195/884/69606/21046 for PRoST/S2RDF/Rya/SPARQLGX"
+    )
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    runs: dict[str, SystemRun],
+    title: str,
+    width: int = 48,
+    logarithmic: bool = True,
+) -> str:
+    """Render per-query times as ASCII bars (one bar per system per query).
+
+    With ``logarithmic=True`` bar length is proportional to
+    ``log10(time)``, matching the paper's Figure 3 presentation where the
+    systems differ by orders of magnitude.
+    """
+    systems = list(runs)
+    values = [
+        result.simulated_sec
+        for run in runs.values()
+        for result in run.queries.values()
+        if result.simulated_sec > 0
+    ]
+    if not values:
+        return title + "\n(no data)"
+    floor = min(values)
+    ceiling = max(values)
+
+    def bar_length(seconds: float) -> int:
+        if seconds <= 0:
+            return 0
+        if logarithmic:
+            if ceiling <= floor:
+                return width
+            position = (math.log10(seconds) - math.log10(floor)) / (
+                math.log10(ceiling) - math.log10(floor)
+            )
+        else:
+            position = seconds / ceiling
+        return max(1, round(position * width))
+
+    label_width = max(len(name) for name in systems)
+    lines = [title]
+    for query_name in QUERY_NAMES:
+        lines.append(query_name)
+        for system in systems:
+            result = runs[system].queries.get(query_name)
+            if result is None:
+                continue
+            bar = "█" * bar_length(result.simulated_sec)
+            lines.append(
+                f"  {system:<{label_width}} {bar} {result.simulated_sec * 1000:,.0f}ms"
+            )
+    if logarithmic:
+        lines.append(f"(bar length is log-scaled between {floor * 1000:,.0f}ms "
+                     f"and {ceiling * 1000:,.0f}ms)")
+    return "\n".join(lines)
+
+
+def speedup_table(runs: dict[str, SystemRun], baseline: str, against: str) -> dict[str, float]:
+    """Per-query speedup of ``baseline`` over ``against`` (>1 = baseline wins)."""
+    ratios = {}
+    for query_name in QUERY_NAMES:
+        base = runs[baseline].queries.get(query_name)
+        other = runs[against].queries.get(query_name)
+        if base and other and base.simulated_sec > 0:
+            ratios[query_name] = other.simulated_sec / base.simulated_sec
+    return ratios

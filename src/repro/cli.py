@@ -1,0 +1,148 @@
+"""Command-line interface: generate data, run queries, reproduce benchmarks.
+
+Installed as ``prost-repro``::
+
+    prost-repro generate --scale 300 --out watdiv.nt
+    prost-repro query --data watdiv.nt --query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
+    prost-repro benchmark --scale 300 --experiment table2
+    prost-repro queries --scale 300 --name C3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    BenchmarkConfig,
+    BenchmarkSuite,
+    render_bar_chart,
+    render_figure2,
+    render_figure3,
+    render_table1,
+    render_table2,
+)
+from .core.prost import ProstEngine
+from .rdf.graph import Graph
+from .rdf.ntriples import write_ntriples_file
+from .watdiv.generator import generate_watdiv
+from .watdiv.queries import basic_query_set
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_watdiv(scale=args.scale, seed=args.seed)
+    count = write_ntriples_file(dataset.graph, args.out)
+    print(f"wrote {count:,} triples to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.query is None and args.query_file is None:
+        print("error: provide --query or --query-file", file=sys.stderr)
+        return 2
+    query = args.query
+    if query is None:
+        with open(args.query_file, encoding="utf-8") as handle:
+            query = handle.read()
+
+    graph = Graph.from_file(args.data)
+    engine = ProstEngine(num_workers=args.workers, strategy=args.strategy)
+    load_report = engine.load(graph)
+    print(f"# {load_report.summary()}", file=sys.stderr)
+
+    if args.explain:
+        print(engine.explain(query))
+        return 0
+    result = engine.sparql(query)
+    print("\t".join(f"?{name}" for name in result.variables))
+    for row in result:
+        print("\t".join("" if term is None else term.n3() for term in row))
+    print(f"# {len(result)} rows, {result.report.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_queries(args: argparse.Namespace) -> int:
+    dataset = generate_watdiv(scale=args.scale, seed=args.seed)
+    for query in basic_query_set(dataset):
+        if args.name and query.name != args.name:
+            continue
+        print(f"# -- {query.name} ({query.group}) {'-' * 40}")
+        print(query.text)
+        print()
+    return 0
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(BenchmarkConfig(scale=args.scale, seed=args.seed))
+    print(
+        f"# WatDiv scale={args.scale}: {len(suite.dataset.graph):,} triples, "
+        f"emulation factor {suite.data_scale:,.0f}x",
+        file=sys.stderr,
+    )
+    wanted = args.experiment
+    if wanted in ("table1", "all"):
+        print(render_table1(suite.run_loading_comparison(), suite.data_scale), "\n")
+    if wanted in ("figure2", "all"):
+        print(render_figure2(suite.run_strategy_comparison()), "\n")
+    if wanted in ("figure3", "table2", "all"):
+        runs = suite.run_all_systems()
+        if wanted in ("figure3", "all"):
+            print(render_figure3(runs), "\n")
+            if args.chart:
+                print(render_bar_chart(runs, "Figure 3 as log-scale bars"), "\n")
+        if wanted in ("table2", "all"):
+            print(render_table2(runs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prost-repro",
+        description="PRoST reproduction: distributed SPARQL over mixed partitioning.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a WatDiv-style dataset")
+    generate.add_argument("--scale", type=int, default=300, help="≈ user count")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output N-Triples file")
+    generate.set_defaults(handler=_cmd_generate)
+
+    query = commands.add_parser("query", help="run a SPARQL query over an N-Triples file")
+    query.add_argument("--data", required=True, help="N-Triples input file")
+    query.add_argument("--query", help="SPARQL text")
+    query.add_argument("--query-file", help="file containing the SPARQL text")
+    query.add_argument("--strategy", choices=("mixed", "vp"), default="mixed")
+    query.add_argument("--workers", type=int, default=9)
+    query.add_argument("--explain", action="store_true", help="show plans, don't run")
+    query.set_defaults(handler=_cmd_query)
+
+    queries = commands.add_parser("queries", help="print the WatDiv basic query set")
+    queries.add_argument("--scale", type=int, default=300)
+    queries.add_argument("--seed", type=int, default=7)
+    queries.add_argument("--name", help="only this query (e.g. C3)")
+    queries.set_defaults(handler=_cmd_queries)
+
+    benchmark = commands.add_parser("benchmark", help="reproduce the paper's evaluation")
+    benchmark.add_argument("--scale", type=int, default=300)
+    benchmark.add_argument("--seed", type=int, default=7)
+    benchmark.add_argument(
+        "--experiment",
+        choices=("table1", "figure2", "figure3", "table2", "all"),
+        default="all",
+    )
+    benchmark.add_argument(
+        "--chart", action="store_true",
+        help="also render figure 3 as ASCII log-scale bars",
+    )
+    benchmark.set_defaults(handler=_cmd_benchmark)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

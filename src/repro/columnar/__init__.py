@@ -1,0 +1,50 @@
+"""Columnar storage (mini-Parquet): encodings, schemas, and table files."""
+
+from .binio import ByteReader, ByteWriter
+from .encoding import (
+    DICTIONARY,
+    ENCODINGS,
+    PLAIN,
+    RLE,
+    decode,
+    encode_best,
+    encode_dictionary,
+    encode_plain,
+    encode_rle,
+)
+from .schema import ColumnSchema, TableSchema, validate_value
+from .table_file import (
+    DEFAULT_ROW_GROUP_SIZE,
+    ChunkInfo,
+    FileStatistics,
+    file_statistics,
+    iter_rows_as_dicts,
+    read_schema,
+    read_table,
+    write_table,
+)
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "ChunkInfo",
+    "ColumnSchema",
+    "DEFAULT_ROW_GROUP_SIZE",
+    "DICTIONARY",
+    "ENCODINGS",
+    "FileStatistics",
+    "PLAIN",
+    "RLE",
+    "TableSchema",
+    "decode",
+    "encode_best",
+    "encode_dictionary",
+    "encode_plain",
+    "encode_rle",
+    "file_statistics",
+    "iter_rows_as_dicts",
+    "read_schema",
+    "read_table",
+    "validate_value",
+    "write_table",
+]

@@ -1,0 +1,49 @@
+"""PRoST core: loaders, Join Tree, translator, executor, and the facade."""
+
+from .encoding import decode_row, decode_term, encode_term
+from .executor import JoinTreeExecutor
+from .filters import SparqlCondition
+from .join_tree import JoinTree, JoinTreeNode, ObjectPtNode, PtNode, VpNode
+from .loader import (
+    LoadReport,
+    PropertyTableInfo,
+    ProstStore,
+    VpTableInfo,
+    load_object_property_table,
+    load_property_table,
+    load_prost_store,
+    load_vertical_partitioning,
+)
+from .naming import assign_names, local_name, sanitize
+from .prost import ProstEngine
+from .results import QueryExecutionReport, ResultSet, solution_sort_key
+from .translator import JoinTreeTranslator
+
+__all__ = [
+    "JoinTree",
+    "JoinTreeExecutor",
+    "JoinTreeNode",
+    "JoinTreeTranslator",
+    "LoadReport",
+    "ObjectPtNode",
+    "PropertyTableInfo",
+    "ProstEngine",
+    "ProstStore",
+    "PtNode",
+    "QueryExecutionReport",
+    "ResultSet",
+    "SparqlCondition",
+    "VpNode",
+    "VpTableInfo",
+    "assign_names",
+    "decode_row",
+    "decode_term",
+    "encode_term",
+    "load_object_property_table",
+    "load_property_table",
+    "load_prost_store",
+    "load_vertical_partitioning",
+    "local_name",
+    "sanitize",
+    "solution_sort_key",
+]

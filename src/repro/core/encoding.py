@@ -1,0 +1,35 @@
+"""Term ↔ cell-string encoding shared by all stores.
+
+Every relational table in this repository stores RDF terms as their
+N-Triples serialization (``<iri>``, ``"literal"^^<dt>``, ``_:b0``). The
+encoding is injective, so joins on encoded strings are joins on terms, and
+it is reversible, so result rows decode back to term objects.
+"""
+
+from __future__ import annotations
+
+from ..rdf.ntriples import parse_term
+from ..rdf.terms import XSD_INTEGER, Literal, Term
+
+
+def encode_term(term: Term) -> str:
+    """Encode a term for storage in a table cell."""
+    return term.n3()
+
+
+def decode_term(cell: str | int | None) -> Term | None:
+    """Decode a table cell back to a term (``None`` passes through).
+
+    Integer cells (produced by the engine's COUNT aggregates) decode to
+    ``xsd:integer`` literals.
+    """
+    if cell is None:
+        return None
+    if isinstance(cell, int):
+        return Literal(str(cell), datatype=XSD_INTEGER)
+    return parse_term(cell)
+
+
+def decode_row(row: tuple) -> tuple[Term | None, ...]:
+    """Decode a whole result row of encoded cells."""
+    return tuple(decode_term(cell) for cell in row)

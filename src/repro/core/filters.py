@@ -1,0 +1,71 @@
+"""Bridging SPARQL FILTER expressions into engine expressions.
+
+Most of a filter can be evaluated directly on the encoded (N-Triples string)
+cells; comparisons with SPARQL value semantics (numeric coercion) decode the
+cells first. :class:`SparqlCondition` wraps one algebra filter expression as
+an engine :class:`~repro.engine.expressions.Expression`, so the engine's
+filter operator and the optimizer's pushdown machinery treat it uniformly.
+"""
+
+from __future__ import annotations
+
+from ..engine.expressions import BoundExpression, Expression
+from ..rdf.reference import evaluate_filter
+from ..sparql.algebra import FilterExpression, Variable
+from .encoding import decode_term
+
+
+class SparqlCondition(Expression):
+    """An engine expression evaluating a SPARQL filter over encoded cells.
+
+    The wrapped algebra expression references SPARQL variables; the engine
+    columns carrying them are assumed to use the variable names directly
+    (which is how the translators name columns).
+    """
+
+    def __init__(self, expression: FilterExpression):
+        self.expression = expression
+
+    def references(self) -> set[str]:
+        return {variable.name for variable in self.expression.variables}
+
+    def bind(self, schema) -> BoundExpression:
+        variables = sorted(self.references())
+        indexes = {name: schema.index_of(name) for name in variables}
+        expression = self.expression
+
+        def evaluate(row: tuple) -> bool:
+            binding = {}
+            for name, index in indexes.items():
+                cell = row[index]
+                if cell is None:
+                    continue
+                binding[name] = decode_term(cell)
+            return evaluate_filter(expression, binding)
+
+        return evaluate
+
+    def describe(self) -> str:
+        return f"SparqlFilter({_describe_algebra(self.expression)})"
+
+
+def _describe_algebra(expression: FilterExpression) -> str:
+    from ..sparql.algebra import And, Comparison, Or, Regex
+
+    if isinstance(expression, Comparison):
+        left = _operand(expression.left)
+        right = _operand(expression.right)
+        return f"{left} {expression.op} {right}"
+    if isinstance(expression, Regex):
+        return f"regex({expression.variable}, {expression.pattern!r})"
+    if isinstance(expression, And):
+        return " && ".join(_describe_algebra(op) for op in expression.operands)
+    if isinstance(expression, Or):
+        return " || ".join(_describe_algebra(op) for op in expression.operands)
+    return repr(expression)
+
+
+def _operand(slot) -> str:
+    if isinstance(slot, Variable):
+        return str(slot)
+    return slot.n3()

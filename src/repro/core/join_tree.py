@@ -1,0 +1,136 @@
+"""The Join Tree: PRoST's intermediate query representation (paper §3.2).
+
+Each node of the tree answers a sub-query from one of the two data layouts:
+
+- :class:`VpNode` — a single triple pattern, read from that predicate's
+  Vertical Partitioning table;
+- :class:`PtNode` — a group of triple patterns sharing a subject, read from
+  the Property Table with a single wide-row select (no joins);
+- :class:`ObjectPtNode` — the future-work (§5) variant grouping patterns
+  that share an *object* variable, read from the object-keyed PT.
+
+Executing a tree computes each node's intermediate result and joins children
+into parents bottom-up; the node *priorities* (paper §3.3) decide the tree
+shape and hence the join order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sparql.algebra import TriplePattern, Variable
+
+
+@dataclass
+class JoinTreeNode:
+    """Base node: patterns it answers, its priority, and its children."""
+
+    patterns: tuple[TriplePattern, ...]
+    priority: float = 0.0
+    children: list["JoinTreeNode"] = field(default_factory=list)
+
+    @property
+    def variables(self) -> set[Variable]:
+        found: set[Variable] = set()
+        for pattern in self.patterns:
+            found |= pattern.variables
+        return found
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.label()} (priority={self.priority:.3f})"]
+        for pattern in self.patterns:
+            lines.append(f"{pad}  | {pattern}")
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self):
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class VpNode(JoinTreeNode):
+    """One triple pattern answered from a Vertical Partitioning table."""
+
+    @property
+    def pattern(self) -> TriplePattern:
+        return self.patterns[0]
+
+    @property
+    def kind(self) -> str:
+        return "VP"
+
+    def label(self) -> str:
+        return "VP"
+
+
+@dataclass
+class PtNode(JoinTreeNode):
+    """A same-subject pattern group answered from the Property Table."""
+
+    @property
+    def kind(self) -> str:
+        return "PT"
+
+    def label(self) -> str:
+        return f"PT[{len(self.patterns)} patterns]"
+
+
+@dataclass
+class ObjectPtNode(JoinTreeNode):
+    """A same-object pattern group answered from the object-keyed PT (§5)."""
+
+    @property
+    def kind(self) -> str:
+        return "OPT"
+
+    def label(self) -> str:
+        return f"ObjectPT[{len(self.patterns)} patterns]"
+
+
+@dataclass
+class JoinTree:
+    """The root node plus bookkeeping for the whole translated query."""
+
+    root: JoinTreeNode
+
+    @property
+    def nodes(self) -> list[JoinTreeNode]:
+        return list(self.root.walk())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_joins(self) -> int:
+        """Joins needed to combine all nodes (nodes − 1)."""
+        return self.num_nodes - 1
+
+    def patterns(self) -> list[TriplePattern]:
+        """Every triple pattern covered by the tree."""
+        found: list[TriplePattern] = []
+        for node in self.nodes:
+            found.extend(node.patterns)
+        return found
+
+    def describe(self) -> str:
+        return self.root.describe()
+
+    def node_kinds(self) -> dict[str, int]:
+        """Count of nodes per kind, e.g. ``{"PT": 2, "VP": 3}``."""
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts

@@ -1,0 +1,56 @@
+"""Deterministic naming of tables and columns derived from predicate IRIs.
+
+VP tables and Property Table columns are named after the predicate's local
+name (the fragment after the last ``/``, ``#``, or ``:``), sanitized to a
+SQL-ish identifier. Distinct predicates with the same local name get numeric
+suffixes, deterministically in sorted-IRI order.
+"""
+
+from __future__ import annotations
+
+import re
+
+_INVALID = re.compile(r"[^A-Za-z0-9_]")
+
+
+def local_name(iri: str) -> str:
+    """The last non-empty path segment of an IRI (best-effort local name)."""
+    trimmed = iri.rstrip("#/:")
+    for separator in ("#", "/", ":"):
+        if separator in trimmed:
+            candidate = trimmed.rsplit(separator, 1)[1]
+            if candidate:
+                return candidate
+    return trimmed or iri
+
+
+def sanitize(name: str) -> str:
+    """Restrict to ``[A-Za-z0-9_]``, never empty, never leading digit."""
+    cleaned = _INVALID.sub("_", name) or "p"
+    if cleaned[0].isdigit():
+        cleaned = "p_" + cleaned
+    return cleaned
+
+
+def assign_names(
+    predicates: list[str], reserved: set[str] = frozenset()
+) -> dict[str, str]:
+    """Map each predicate IRI to a unique sanitized name.
+
+    Args:
+        predicates: predicate IRI strings (order does not matter; the result
+            is deterministic via sorting).
+        reserved: names that must not be produced (e.g. the ``s`` column).
+    """
+    mapping: dict[str, str] = {}
+    taken = set(reserved)
+    for iri in sorted(predicates):
+        base = sanitize(local_name(iri))
+        candidate = base
+        suffix = 2
+        while candidate in taken:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        mapping[iri] = candidate
+        taken.add(candidate)
+    return mapping

@@ -1,0 +1,239 @@
+"""The PRoST engine facade: load once, query with SPARQL.
+
+This is the package's primary public API::
+
+    engine = ProstEngine(num_workers=9)
+    engine.load(graph)
+    results = engine.sparql("SELECT ?s WHERE { ?s <...> ?o }")
+
+``strategy="mixed"`` (default) is the paper's contribution: same-subject
+pattern groups are answered by the Property Table, the rest by Vertical
+Partitioning. ``strategy="vp"`` reproduces the VP-only baseline of Figure 2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..engine.cluster import ClusterConfig, SimulatedCluster
+from ..engine.dataframe import DataFrame
+from ..engine.session import EngineSession
+from ..errors import LoaderError, UnsupportedSparqlError
+from ..rdf.graph import Graph
+from ..sparql.algebra import SelectQuery
+from ..sparql.parser import parse_sparql
+from .encoding import decode_row
+from .executor import JoinTreeExecutor
+from .filters import SparqlCondition
+from .join_tree import JoinTree
+from .loader import LoadReport, ProstStore, load_prost_store
+from .results import QueryExecutionReport, ResultSet, solution_sort_key
+from .translator import JoinTreeTranslator
+
+
+class ProstEngine:
+    """Distributed SPARQL over mixed VP + Property Table partitioning."""
+
+    name = "PRoST"
+
+    def __init__(
+        self,
+        num_workers: int = 9,
+        strategy: str = "mixed",
+        statistics_level: str = "simple",
+        use_object_property_table: bool = False,
+        use_statistics: bool = True,
+        cluster_config: ClusterConfig | None = None,
+    ):
+        """
+        Args:
+            num_workers: simulated Spark workers (the paper's cluster has 9).
+            strategy: ``mixed`` (VP + PT) or ``vp`` (VP only).
+            statistics_level: ``simple`` (paper §3.3) or ``extended``
+                (characteristic sets, paper §5 future work).
+            use_object_property_table: also build and use the object-keyed
+                Property Table (paper §5 future work).
+            use_statistics: disable the statistics-based join ordering
+                (ablation; trees keep query order).
+            cluster_config: full cluster override (ignores ``num_workers``).
+        """
+        if cluster_config is None:
+            cluster_config = ClusterConfig(num_workers=num_workers)
+        self.session = EngineSession(SimulatedCluster(cluster_config))
+        self.strategy = strategy
+        self.statistics_level = statistics_level
+        self.use_object_property_table = use_object_property_table
+        self.use_statistics = use_statistics
+        self.store: ProstStore | None = None
+        self._translator: JoinTreeTranslator | None = None
+        self.last_query_report_: QueryExecutionReport | None = None
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, graph: Graph) -> LoadReport:
+        """Load a graph: build VP tables, the PT, and the statistics."""
+        self.store = load_prost_store(
+            graph,
+            session=self.session,
+            statistics_level=self.statistics_level,
+            include_property_table=self.strategy == "mixed",
+            include_object_property_table=self.use_object_property_table,
+        )
+        self._translator = JoinTreeTranslator(
+            self.store.statistics,
+            strategy=self.strategy,
+            use_object_property_table=self.use_object_property_table,
+            use_statistics=self.use_statistics,
+        )
+        assert self.store.load_report is not None
+        return self.store.load_report
+
+    def _require_store(self) -> ProstStore:
+        if self.store is None or self._translator is None:
+            raise LoaderError("no graph loaded; call load() first")
+        return self.store
+
+    # -- querying ------------------------------------------------------------------
+
+    def translate(self, query: str | SelectQuery) -> JoinTree:
+        """Translate a query to its Join Tree without executing it."""
+        self._require_store()
+        assert self._translator is not None
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        return self._translator.translate(parsed)
+
+    def dataframe(self, query: str | SelectQuery) -> tuple[DataFrame, str]:
+        """The engine DataFrame computing a query (before modifiers), plus a
+        textual rendering of the Join Tree(s) behind it."""
+        store = self._require_store()
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        assert self._translator is not None
+
+        if parsed.is_union:
+            frame, description = self._union_frame(store, parsed)
+        else:
+            tree = self._translator.translate_bgp(parsed.patterns)
+            frame = JoinTreeExecutor(store).build(tree)
+            description = tree.describe()
+            for group in parsed.optional_groups:
+                frame, optional_text = self._apply_optional(store, frame, group)
+                description += f"\nOPTIONAL:\n{optional_text}"
+
+        for filter_expression in parsed.filters:
+            frame = frame.filter(SparqlCondition(filter_expression))
+        if parsed.is_aggregate:
+            keys = [variable.name for variable in parsed.group_by]
+            aggregates = [
+                (
+                    "count_distinct" if aggregate.distinct else "count",
+                    aggregate.variable.name if aggregate.variable else None,
+                    aggregate.alias.name,
+                )
+                for aggregate in parsed.aggregates
+            ]
+            frame = frame.group_aggregate(keys, aggregates)
+        projection = [variable.name for variable in parsed.projection]
+        frame = frame.select(*projection)
+        if parsed.distinct:
+            frame = frame.distinct()
+        return frame, description
+
+    def _union_frame(self, store, parsed: SelectQuery) -> tuple[DataFrame, str]:
+        """One frame per UNION branch, null-padded to shared columns."""
+        from ..engine.expressions import col, lit
+
+        assert self._translator is not None
+        executor = JoinTreeExecutor(store)
+        branch_frames: list[DataFrame] = []
+        descriptions: list[str] = []
+        all_columns: list[str] = []
+        for branch in parsed.union_branches:
+            tree = self._translator.translate_bgp(branch)
+            frame = executor.build(tree)
+            branch_frames.append(frame)
+            descriptions.append(tree.describe())
+            for name in frame.columns:
+                if name not in all_columns:
+                    all_columns.append(name)
+        padded = []
+        for frame in branch_frames:
+            outputs = [
+                (name, col(name) if name in frame.columns else lit(None))
+                for name in all_columns
+            ]
+            padded.append(frame.select(*outputs))
+        union = padded[0]
+        for frame in padded[1:]:
+            union = union.union(frame)
+        description = "\nUNION:\n".join(descriptions)
+        return union, description
+
+    def _apply_optional(self, store, frame: DataFrame, group) -> tuple[DataFrame, str]:
+        """Left-join one OPTIONAL group onto the accumulated frame."""
+        assert self._translator is not None
+        tree = self._translator.translate_bgp(group)
+        optional_frame = JoinTreeExecutor(store).build(tree)
+        shared = sorted(set(frame.columns) & set(optional_frame.columns))
+        if not shared:
+            raise UnsupportedSparqlError(
+                "OPTIONAL groups sharing no variable with the required "
+                "pattern are not supported"
+            )
+        return frame.join(optional_frame, on=shared, how="left"), tree.describe()
+
+    def sparql(self, query: str | SelectQuery) -> ResultSet:
+        """Execute a SELECT query and return decoded solutions."""
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        started = time.perf_counter()
+        frame, tree_description = self.dataframe(parsed)
+        encoded_rows, engine_report = frame.collect_with_report()
+        rows = [decode_row(row) for row in encoded_rows]
+        rows = _apply_modifiers(parsed, rows)
+        wall = time.perf_counter() - started
+        report = QueryExecutionReport(
+            simulated_sec=engine_report.simulated_sec,
+            wall_clock_sec=wall,
+            join_tree=tree_description,
+            engine_report=engine_report,
+        )
+        self.last_query_report_ = report
+        variables = tuple(variable.name for variable in parsed.projection)
+        return ResultSet(variables, rows, report)
+
+    def ask(self, query: str | SelectQuery) -> bool:
+        """Execute an ASK (or any) query as an existence check."""
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        return len(self.sparql(parsed)) > 0
+
+    def explain(self, query: str | SelectQuery) -> str:
+        """Join tree plus optimized engine plan, as text."""
+        frame, tree_description = self.dataframe(query)
+        return (
+            f"== Join Tree ==\n{tree_description}\n"
+            f"== Engine Plan ==\n{frame.explain()}"
+        )
+
+    def last_query_report(self) -> QueryExecutionReport | None:
+        """The report of the most recent :meth:`sparql` call."""
+        return self.last_query_report_
+
+
+def _apply_modifiers(
+    query: SelectQuery, rows: list[tuple]
+) -> list[tuple]:
+    """ORDER BY / deterministic sort, then OFFSET / LIMIT (on the driver)."""
+    projection = list(query.projection)
+    if query.order_by:
+        for condition in reversed(query.order_by):
+            position = projection.index(condition.variable)
+            rows.sort(
+                key=lambda row: solution_sort_key((row[position],)),
+                reverse=condition.descending,
+            )
+    else:
+        rows.sort(key=solution_sort_key)
+    if query.offset:
+        rows = rows[query.offset :]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows

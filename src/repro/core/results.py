@@ -1,0 +1,78 @@
+"""Query results: decoded solution rows plus the execution report."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..engine.session import QueryReport
+from ..rdf.terms import Term, term_sort_key
+
+
+@dataclass(frozen=True)
+class QueryExecutionReport:
+    """Everything measured about one SPARQL query run.
+
+    Attributes:
+        join_tree: textual rendering of the translated Join Tree (``None``
+            for systems without one, e.g. Rya).
+        engine_report: the engine-level :class:`QueryReport`, when the query
+            ran on the DataFrame engine.
+        simulated_sec: cost-model cluster time.
+        wall_clock_sec: local Python execution time.
+    """
+
+    simulated_sec: float
+    wall_clock_sec: float
+    join_tree: str | None = None
+    engine_report: QueryReport | None = None
+
+    def summary(self) -> str:
+        parts = [f"simulated={self.simulated_sec * 1000:.1f}ms"]
+        if self.engine_report is not None:
+            parts.append(self.engine_report.summary())
+        return " ".join(parts)
+
+
+class ResultSet:
+    """Decoded solutions of one SELECT query.
+
+    Rows are tuples of terms (or ``None`` for unbound cells) ordered by the
+    query's projection. Without an ORDER BY clause rows are sorted
+    deterministically, so result sets compare exactly across systems.
+    """
+
+    def __init__(
+        self,
+        variables: tuple[str, ...],
+        rows: list[tuple[Term | None, ...]],
+        report: QueryExecutionReport,
+    ):
+        self.variables = variables
+        self.rows = rows
+        self.report = report
+
+    def __iter__(self) -> Iterator[tuple[Term | None, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultSet):
+            return self.variables == other.variables and self.rows == other.rows
+        return NotImplemented
+
+    def to_dicts(self) -> list[dict[str, Term | None]]:
+        """Rows as ``{variable: term}`` dictionaries."""
+        return [dict(zip(self.variables, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self.rows)} rows, vars={list(self.variables)})"
+
+
+def solution_sort_key(row: tuple[Term | None, ...]):
+    """Deterministic ordering for solution rows (NULLs first)."""
+    return tuple(
+        (-1, "") if term is None else term_sort_key(term) for term in row
+    )

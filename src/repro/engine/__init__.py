@@ -1,0 +1,77 @@
+"""Distributed DataFrame engine (mini-Spark): plans, optimizer, executor."""
+
+from .catalog import Catalog, StoredTable
+from .cluster import (
+    ClusterConfig,
+    CostBreakdown,
+    ExecutionMetrics,
+    SimulatedCluster,
+    estimate_cost,
+)
+from .data import (
+    HashPartitioner,
+    PartitionedData,
+    estimate_row_bytes,
+    partition_by_hash,
+    partition_evenly,
+    stable_hash,
+)
+from .dataframe import DataFrame
+from .expressions import Expression, and_all, col, lit
+from .logical import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Explode,
+    Filter,
+    InMemoryRelation,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+    Union,
+)
+from .optimizer import optimize, prune_columns, push_down_filters, split_conjuncts
+from .session import EngineSession, QueryReport
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Catalog",
+    "ClusterConfig",
+    "CostBreakdown",
+    "DataFrame",
+    "Distinct",
+    "EngineSession",
+    "ExecutionMetrics",
+    "Explode",
+    "Expression",
+    "Filter",
+    "HashPartitioner",
+    "InMemoryRelation",
+    "Join",
+    "Limit",
+    "LogicalPlan",
+    "PartitionedData",
+    "Project",
+    "QueryReport",
+    "SimulatedCluster",
+    "Sort",
+    "StoredTable",
+    "TableScan",
+    "Union",
+    "and_all",
+    "col",
+    "estimate_cost",
+    "estimate_row_bytes",
+    "lit",
+    "optimize",
+    "partition_by_hash",
+    "partition_evenly",
+    "prune_columns",
+    "push_down_filters",
+    "split_conjuncts",
+    "stable_hash",
+]

@@ -1,0 +1,116 @@
+"""Table catalog: registered, partitioned, storage-backed tables.
+
+A :class:`StoredTable` couples the in-memory :class:`PartitionedData` the
+executor scans with the columnar-file statistics used for IO accounting.
+Loaders register tables here; scans resolve them by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..columnar.schema import TableSchema
+from ..columnar.table_file import FileStatistics
+from ..errors import CatalogError
+from .data import PartitionedData
+
+
+@dataclass
+class StoredTable:
+    """One catalog entry.
+
+    Attributes:
+        name: catalog-unique table name.
+        data: partitioned rows served to scans.
+        file_stats: statistics of the backing columnar file, when the table
+            was persisted; drives byte-accurate scan costs and Table 1 sizes.
+        hdfs_path: backing file location, when persisted.
+    """
+
+    name: str
+    data: PartitionedData
+    file_stats: FileStatistics | None = None
+    hdfs_path: str | None = None
+
+    @property
+    def schema(self) -> TableSchema:
+        return self.data.schema
+
+    @property
+    def row_count(self) -> int:
+        return self.data.num_rows
+
+    def scan_bytes(self, columns: tuple[str, ...] | None = None) -> int:
+        """Bytes a scan of ``columns`` must read (column pruning applied).
+
+        Falls back to an in-memory estimate when the table was never
+        persisted to a columnar file.
+        """
+        if self.file_stats is None:
+            if columns is None:
+                return self.data.estimated_bytes()
+            fraction = max(1, len(columns)) / max(1, len(self.schema))
+            return int(self.data.estimated_bytes() * fraction)
+        if columns is None:
+            return sum(chunk.encoded_bytes for chunk in self.file_stats.chunks)
+        wanted = set(columns)
+        return sum(
+            chunk.encoded_bytes
+            for chunk in self.file_stats.chunks
+            if chunk.column in wanted
+        )
+
+
+class Catalog:
+    """Name → :class:`StoredTable` registry."""
+
+    def __init__(self):
+        self._tables: dict[str, StoredTable] = {}
+
+    def register(self, table: StoredTable, replace: bool = False) -> None:
+        """Add a table.
+
+        Raises:
+            CatalogError: when the name is taken and ``replace`` is false.
+        """
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table already registered: {table.name!r}")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> StoredTable:
+        """Look up a table.
+
+        Raises:
+            CatalogError: for an unknown name.
+        """
+        table = self._tables.get(name)
+        if table is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return table
+
+    def has(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop(self, name: str) -> None:
+        """Remove a table.
+
+        Raises:
+            CatalogError: for an unknown name.
+        """
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def total_stored_bytes(self) -> int:
+        """Sum of backing-file sizes over all persisted tables."""
+        return sum(
+            table.file_stats.total_bytes
+            for table in self._tables.values()
+            if table.file_stats is not None
+        )
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,141 @@
+"""Partitioned in-memory datasets and row-size estimation.
+
+The engine's unit of data is :class:`PartitionedData`: a schema plus a list
+of partitions (lists of row tuples) and an optional :class:`HashPartitioner`
+describing how rows were placed. Partitioner awareness lets the join operator
+skip a shuffle when both sides are already hash-partitioned on the join keys
+with the same partition count — the engine-level analogue of co-located
+joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..columnar.schema import TableSchema
+from ..errors import PlanError
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Rows are placed by ``hash(key columns) % num_partitions``."""
+
+    columns: tuple[str, ...]
+    num_partitions: int
+
+    def partition_for(self, key: tuple) -> int:
+        return stable_hash(key) % self.num_partitions
+
+
+def stable_hash(key: tuple) -> int:
+    """Deterministic, process-independent hash for partitioning.
+
+    Python's builtin ``hash`` on strings is salted per process; a stable
+    polynomial hash keeps partition layouts reproducible across runs.
+    """
+    value = 0
+    for part in key:
+        text = part if isinstance(part, str) else repr(part)
+        h = 2166136261
+        for ch in text.encode("utf-8", "surrogatepass"):
+            h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+        value = (value * 31 + h) & 0x7FFFFFFFFFFFFFFF
+    return value
+
+
+class PartitionedData:
+    """A schema plus partitioned rows, the engine's physical dataset."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        partitions: list[list[tuple]],
+        partitioner: HashPartitioner | None = None,
+    ):
+        if not partitions:
+            partitions = [[]]
+        if partitioner is not None and partitioner.num_partitions != len(partitions):
+            raise PlanError(
+                "partitioner partition count does not match the partition list"
+            )
+        self.schema = schema
+        self.partitions = partitions
+        self.partitioner = partitioner
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def all_rows(self) -> list[tuple]:
+        """Gather every row (driver-side collect)."""
+        rows: list[tuple] = []
+        for partition in self.partitions:
+            rows.extend(partition)
+        return rows
+
+    def is_partitioned_on(self, columns: tuple[str, ...]) -> bool:
+        """Whether rows are hash-placed by exactly these columns."""
+        return self.partitioner is not None and self.partitioner.columns == columns
+
+    def estimated_bytes(self) -> int:
+        """Rough in-flight size: what a shuffle of this dataset would move."""
+        return sum(estimate_row_bytes(row) for partition in self.partitions for row in partition)
+
+
+def estimate_row_bytes(row: tuple) -> int:
+    """Approximate serialized size of one row (shuffle accounting)."""
+    total = 8  # framing
+    for value in row:
+        if value is None:
+            total += 1
+        elif isinstance(value, str):
+            total += len(value) + 4
+        elif isinstance(value, (list, tuple)):
+            total += 4
+            for element in value:
+                total += (len(element) + 4) if isinstance(element, str) else 8
+        else:
+            total += 8
+    return total
+
+
+def repartition_by_key(
+    rows_by_partition: list[list[tuple]],
+    key_indexes: list[int],
+    partitioner: HashPartitioner,
+) -> list[list[tuple]]:
+    """Hash-repartition rows by the given key columns (the shuffle write)."""
+    output: list[list[tuple]] = [[] for _ in range(partitioner.num_partitions)]
+    for partition in rows_by_partition:
+        for row in partition:
+            key = tuple(row[i] for i in key_indexes)
+            output[partitioner.partition_for(key)].append(row)
+    return output
+
+
+def partition_evenly(rows: list[tuple], num_partitions: int) -> list[list[tuple]]:
+    """Round-robin rows into ``num_partitions`` (a balanced, unkeyed layout)."""
+    if num_partitions <= 0:
+        raise PlanError("num_partitions must be positive")
+    output: list[list[tuple]] = [[] for _ in range(num_partitions)]
+    for index, row in enumerate(rows):
+        output[index % num_partitions].append(row)
+    return output
+
+
+def partition_by_hash(
+    rows: list[tuple],
+    schema: TableSchema,
+    columns: tuple[str, ...],
+    num_partitions: int,
+) -> PartitionedData:
+    """Hash-partition rows on ``columns`` (used by loaders, e.g. the PT's
+    subject partitioning from paper §3.1)."""
+    partitioner = HashPartitioner(columns=columns, num_partitions=num_partitions)
+    key_indexes = [schema.index_of(name) for name in columns]
+    partitions = repartition_by_key([rows], key_indexes, partitioner)
+    return PartitionedData(schema, partitions, partitioner)

@@ -1,0 +1,524 @@
+"""Physical execution of logical plans over the simulated cluster.
+
+The executor walks a (previously optimized) logical plan bottom-up, producing
+:class:`PartitionedData` at every node and charging work to an
+:class:`ExecutionMetrics`. Join strategy selection happens here, with the
+runtime sizes in hand, mirroring Spark's adaptive behaviour:
+
+- **colocated join** — both sides already hash-partitioned on the join keys
+  with equal partition counts: zip partitions, no network traffic;
+- **broadcast hash join** — the smaller side fits under the cluster's
+  broadcast threshold (Catalyst's ``autoBroadcastJoinThreshold``): ship the
+  small side once, keep the big side in place;
+- **shuffle hash join** — otherwise: hash-repartition both sides on the keys
+  and join partition-wise, paying the full shuffle.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError, PlanError
+from .catalog import Catalog
+from .cluster import ClusterConfig, ExecutionMetrics
+from .data import (
+    HashPartitioner,
+    PartitionedData,
+    estimate_row_bytes,
+    partition_evenly,
+    repartition_by_key,
+    stable_hash,
+)
+from .logical import (
+    Aggregate,
+    Distinct,
+    Explode,
+    Filter,
+    InMemoryRelation,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+    Union,
+)
+
+
+class PhysicalExecutor:
+    """Executes logical plans against a catalog under a cluster config."""
+
+    def __init__(self, catalog: Catalog, config: ClusterConfig):
+        self.catalog = catalog
+        self.config = config
+
+    def execute(self, plan: LogicalPlan, metrics: ExecutionMetrics) -> PartitionedData:
+        """Run ``plan`` and return its materialized output."""
+        result = self._run(plan, metrics)
+        metrics.rows_output = result.num_rows
+        return result
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _run(self, plan: LogicalPlan, metrics: ExecutionMetrics) -> PartitionedData:
+        if isinstance(plan, TableScan):
+            return self._scan(plan, metrics)
+        if isinstance(plan, InMemoryRelation):
+            return self._local(plan, metrics)
+        if isinstance(plan, Filter):
+            return self._filter(plan, metrics)
+        if isinstance(plan, Project):
+            return self._project(plan, metrics)
+        if isinstance(plan, Join):
+            return self._join(plan, metrics)
+        if isinstance(plan, Explode):
+            return self._explode(plan, metrics)
+        if isinstance(plan, Distinct):
+            return self._distinct(plan, metrics)
+        if isinstance(plan, Sort):
+            return self._sort(plan, metrics)
+        if isinstance(plan, Limit):
+            return self._limit(plan, metrics)
+        if isinstance(plan, Union):
+            return self._union(plan, metrics)
+        if isinstance(plan, Aggregate):
+            return self._aggregate(plan, metrics)
+        raise PlanError(f"no physical implementation for {type(plan).__name__}")
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _scan(self, plan: TableScan, metrics: ExecutionMetrics) -> PartitionedData:
+        table = self.catalog.get(plan.table_name)
+        columns = plan.columns
+        metrics.bytes_scanned += table.scan_bytes(columns)
+        metrics.rows_scanned += table.row_count
+        metrics.record_stage(
+            tasks=table.data.num_partitions,
+            note=f"Scan {plan.table_name} cols={list(columns) if columns else '*'}",
+        )
+        if columns is None:
+            return table.data
+        indexes = [table.schema.index_of(name) for name in columns]
+        partitions = [
+            [tuple(row[i] for i in indexes) for row in partition]
+            for partition in table.data.partitions
+        ]
+        partitioner = table.data.partitioner
+        if partitioner is not None and not set(partitioner.columns) <= set(columns):
+            partitioner = None
+        return PartitionedData(table.schema.select(list(columns)), partitions, partitioner)
+
+    def _local(self, plan: InMemoryRelation, metrics: ExecutionMetrics) -> PartitionedData:
+        metrics.record_stage(tasks=1, note=f"LocalRelation {plan.label}")
+        partitions = partition_evenly(list(plan.rows), self.config.default_partitions)
+        return PartitionedData(plan.relation_schema, partitions)
+
+    # -- narrow operators --------------------------------------------------------
+
+    def _filter(self, plan: Filter, metrics: ExecutionMetrics) -> PartitionedData:
+        child = self._run(plan.child, metrics)
+        predicate = plan.condition.bind(child.schema)
+        metrics.narrow_rows_processed += child.num_rows
+        metrics.record_stage(
+            tasks=child.num_partitions, note=f"Filter {plan.condition.describe()}"
+        )
+        partitions = [[row for row in part if predicate(row)] for part in child.partitions]
+        return PartitionedData(child.schema, partitions, child.partitioner)
+
+    def _project(self, plan: Project, metrics: ExecutionMetrics) -> PartitionedData:
+        child = self._run(plan.child, metrics)
+        bound = [expression.bind(child.schema) for _, expression in plan.outputs]
+        metrics.narrow_rows_processed += child.num_rows
+        metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
+        partitions = [
+            [tuple(fn(row) for fn in bound) for row in part] for part in child.partitions
+        ]
+        partitioner = _project_partitioner(plan, child.partitioner)
+        return PartitionedData(plan.schema, partitions, partitioner)
+
+    def _explode(self, plan: Explode, metrics: ExecutionMetrics) -> PartitionedData:
+        child = self._run(plan.child, metrics)
+        index = child.schema.index_of(plan.column)
+        metrics.narrow_rows_processed += child.num_rows
+        metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
+        partitions: list[list[tuple]] = []
+        for part in child.partitions:
+            out: list[tuple] = []
+            for row in part:
+                values = row[index]
+                if not values:
+                    continue
+                for value in values:
+                    out.append(row[:index] + (value,) + row[index + 1 :])
+            partitions.append(out)
+        partitioner = child.partitioner
+        if partitioner is not None and plan.column in partitioner.columns:
+            partitioner = None
+        if partitioner is not None and plan.output_name and plan.output_name != plan.column:
+            pass  # key columns unchanged: renaming a non-key column is fine
+        return PartitionedData(plan.schema, partitions, partitioner)
+
+    # -- joins ---------------------------------------------------------------------
+
+    def _join(self, plan: Join, metrics: ExecutionMetrics) -> PartitionedData:
+        left = self._run(plan.left, metrics)
+        right = self._run(plan.right, metrics)
+        if plan.how == "cross":
+            return self._cross_join(plan, left, right, metrics)
+        keys = plan.on
+        left_key_idx = [left.schema.index_of(k) for k in keys]
+        right_key_idx = [right.schema.index_of(k) for k in keys]
+        right_keep_idx = [
+            i for i, column in enumerate(right.schema.columns) if column.name not in keys
+        ]
+
+        left_bytes = left.estimated_bytes()
+        right_bytes = right.estimated_bytes()
+        strategy = self._choose_strategy(plan, left, right, left_bytes, right_bytes, keys)
+
+        if strategy == "colocated":
+            metrics.colocated_joins += 1
+            metrics.record_stage(
+                tasks=left.num_partitions, note=f"ColocatedJoin on={list(keys)}"
+            )
+            left_parts, right_parts = left.partitions, right.partitions
+            partitioner = left.partitioner
+        elif strategy == "broadcast":
+            # Only inner joins may broadcast the probe (left) side: for
+            # semi/anti/left joins a left row must be matched against the
+            # *whole* build side at once, so the build side must be the one
+            # replicated — i.e. the right side.
+            small_is_right = right_bytes <= left_bytes or plan.how != "inner"
+            small_bytes = right_bytes if small_is_right else left_bytes
+            metrics.broadcast_bytes += small_bytes
+            metrics.broadcast_count += 1
+            metrics.record_stage(
+                tasks=(left if small_is_right else right).num_partitions,
+                note=f"BroadcastHashJoin on={list(keys)} build={'right' if small_is_right else 'left'}",
+            )
+            if small_is_right:
+                left_parts = left.partitions
+                right_parts = [right.all_rows()] * left.num_partitions
+                partitioner = left.partitioner
+            else:
+                # Inner join only: replicate the small left side to every
+                # right partition (each right row is matched exactly once).
+                left_parts = [left.all_rows()] * right.num_partitions
+                right_parts = right.partitions
+                partitioner = None
+        else:  # shuffle
+            num_partitions = self.config.default_partitions
+            partitioner = HashPartitioner(columns=keys, num_partitions=num_partitions)
+            metrics.shuffle_bytes += left_bytes + right_bytes
+            metrics.shuffle_rows += left.num_rows + right.num_rows
+            metrics.record_stage(
+                tasks=num_partitions, note=f"ShuffleHashJoin on={list(keys)}"
+            )
+            left_parts = repartition_by_key(left.partitions, left_key_idx, partitioner)
+            right_parts = repartition_by_key(right.partitions, right_key_idx, partitioner)
+
+        metrics.rows_processed += left.num_rows + right.num_rows
+        partitions = []
+        for left_part, right_part in zip(left_parts, right_parts):
+            partitions.append(
+                _hash_join_partition(
+                    left_part, right_part, left_key_idx, right_key_idx, right_keep_idx, plan.how
+                )
+            )
+        if plan.how in ("semi", "anti"):
+            out_partitioner = left.partitioner
+        else:
+            out_partitioner = partitioner
+            if out_partitioner is not None and out_partitioner.num_partitions != len(partitions):
+                out_partitioner = None
+        return PartitionedData(plan.schema, partitions, out_partitioner)
+
+    def _cross_join(
+        self,
+        plan: Join,
+        left: PartitionedData,
+        right: PartitionedData,
+        metrics: ExecutionMetrics,
+    ) -> PartitionedData:
+        """Cartesian product: broadcast the smaller side to every partition
+        of the larger one and emit all row pairs."""
+        left_bytes = left.estimated_bytes()
+        right_bytes = right.estimated_bytes()
+        small_is_right = right_bytes <= left_bytes
+        metrics.broadcast_bytes += min(left_bytes, right_bytes)
+        metrics.broadcast_count += 1
+        metrics.rows_processed += left.num_rows + right.num_rows
+        big = left if small_is_right else right
+        small_rows = (right if small_is_right else left).all_rows()
+        metrics.record_stage(tasks=big.num_partitions, note="CartesianProduct")
+        partitions: list[list[tuple]] = []
+        for part in big.partitions:
+            out: list[tuple] = []
+            for row in part:
+                for other in small_rows:
+                    out.append(row + other if small_is_right else other + row)
+            partitions.append(out)
+        return PartitionedData(plan.schema, partitions)
+
+    def _choose_strategy(
+        self,
+        plan: Join,
+        left: PartitionedData,
+        right: PartitionedData,
+        left_bytes: int,
+        right_bytes: int,
+        keys: tuple[str, ...],
+    ) -> str:
+        if plan.hint == "broadcast":
+            return "broadcast"
+        if (
+            left.is_partitioned_on(keys)
+            and right.is_partitioned_on(keys)
+            and left.num_partitions == right.num_partitions
+        ):
+            return "colocated"
+        if plan.hint == "shuffle":
+            return "shuffle"
+        # The threshold compares emulated sizes: local bytes × data_scale.
+        threshold = self.config.broadcast_threshold_bytes / self.config.data_scale
+        if plan.how != "inner":
+            # Non-inner joins can only broadcast the build (right) side.
+            if right_bytes <= threshold:
+                return "broadcast"
+            return "shuffle"
+        if min(left_bytes, right_bytes) <= threshold:
+            return "broadcast"
+        return "shuffle"
+
+    # -- wide operators -----------------------------------------------------------
+
+    def _distinct(self, plan: Distinct, metrics: ExecutionMetrics) -> PartitionedData:
+        child = self._run(plan.child, metrics)
+        all_columns = tuple(child.schema.names)
+        if child.is_partitioned_on(all_columns):
+            partitions = child.partitions
+            partitioner = child.partitioner
+        else:
+            num_partitions = self.config.default_partitions
+            partitioner = HashPartitioner(columns=all_columns, num_partitions=num_partitions)
+            metrics.shuffle_bytes += child.estimated_bytes()
+            metrics.shuffle_rows += child.num_rows
+            key_idx = list(range(len(all_columns)))
+            partitions = repartition_by_key(child.partitions, key_idx, partitioner)
+        metrics.rows_processed += child.num_rows
+        metrics.record_stage(tasks=len(partitions), note="Distinct")
+        deduped = []
+        for part in partitions:
+            seen: set[tuple] = set()
+            out: list[tuple] = []
+            for row in part:
+                frozen = _freeze_row(row)
+                if frozen not in seen:
+                    seen.add(frozen)
+                    out.append(row)
+            deduped.append(out)
+        return PartitionedData(child.schema, deduped, partitioner)
+
+    def _sort(self, plan: Sort, metrics: ExecutionMetrics) -> PartitionedData:
+        child = self._run(plan.child, metrics)
+        rows = child.all_rows()
+        metrics.rows_processed += len(rows)
+        metrics.shuffle_bytes += child.estimated_bytes()  # gather to driver
+        metrics.record_stage(tasks=1, note=plan._describe_line())
+        for name, descending in reversed(plan.keys):
+            index = child.schema.index_of(name)
+            rows.sort(key=lambda row: _sort_key(row[index]), reverse=descending)
+        return PartitionedData(child.schema, [rows])
+
+    def _limit(self, plan: Limit, metrics: ExecutionMetrics) -> PartitionedData:
+        child = self._run(plan.child, metrics)
+        rows = child.all_rows()
+        metrics.record_stage(tasks=1, note=plan._describe_line())
+        rows = rows[plan.offset :]
+        if plan.count is not None:
+            rows = rows[: plan.count]
+        return PartitionedData(child.schema, [rows])
+
+    def _aggregate(self, plan: Aggregate, metrics: ExecutionMetrics) -> PartitionedData:
+        """Hash aggregation with map-side partial aggregation.
+
+        Each input partition pre-aggregates locally (Spark's partial
+        aggregate), then only the per-group partial states shuffle — the
+        reason COUNT-style queries are cheap even over big inputs.
+        """
+        child = self._run(plan.child, metrics)
+        key_idx = [child.schema.index_of(key) for key in plan.keys]
+        input_idx = [
+            child.schema.index_of(spec.input_column)
+            if spec.input_column is not None
+            else None
+            for spec in plan.aggregates
+        ]
+        metrics.rows_processed += child.num_rows
+
+        # Map side: one partial state per (partition, group).
+        partials: list[dict[tuple, list]] = []
+        for part in child.partitions:
+            local: dict[tuple, list] = {}
+            for row in part:
+                key = tuple(row[i] for i in key_idx)
+                state = local.get(key)
+                if state is None:
+                    state = [
+                        set() if spec.op == "count_distinct" else 0
+                        for spec in plan.aggregates
+                    ]
+                    local[key] = state
+                for position, (spec, column) in enumerate(zip(plan.aggregates, input_idx)):
+                    value = row[column] if column is not None else row
+                    if column is not None and value is None:
+                        continue
+                    if spec.op == "count_distinct":
+                        state[position].add(_freeze_value(value))
+                    else:
+                        state[position] += 1
+            partials.append(local)
+
+        partial_groups = sum(len(local) for local in partials)
+        metrics.shuffle_rows += partial_groups
+        metrics.shuffle_bytes += partial_groups * (16 + 8 * len(plan.aggregates))
+        metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
+
+        # Reduce side: merge partial states by group key.
+        merged: dict[tuple, list] = {}
+        for local in partials:
+            for key, state in local.items():
+                target = merged.get(key)
+                if target is None:
+                    merged[key] = state
+                    continue
+                for position, spec in enumerate(plan.aggregates):
+                    if spec.op == "count_distinct":
+                        target[position] |= state[position]
+                    else:
+                        target[position] += state[position]
+        if not plan.keys and not merged:
+            merged[()] = [
+                set() if spec.op == "count_distinct" else 0
+                for spec in plan.aggregates
+            ]
+
+        rows = []
+        for key in sorted(merged, key=_group_sort_key):
+            state = merged[key]
+            counts = tuple(
+                len(value) if isinstance(value, set) else value for value in state
+            )
+            rows.append(key + counts)
+        num_partitions = min(self.config.default_partitions, max(1, len(rows)))
+        partitioner = (
+            HashPartitioner(columns=plan.keys, num_partitions=num_partitions)
+            if plan.keys
+            else None
+        )
+        partitions = (
+            repartition_by_key([rows], list(range(len(plan.keys))), partitioner)
+            if partitioner
+            else [rows]
+        )
+        return PartitionedData(plan.schema, partitions, partitioner)
+
+    def _union(self, plan: Union, metrics: ExecutionMetrics) -> PartitionedData:
+        results = [self._run(child, metrics) for child in plan.inputs]
+        metrics.record_stage(tasks=len(results), note="Union")
+        partitions: list[list[tuple]] = []
+        for result in results:
+            partitions.extend(result.partitions)
+        return PartitionedData(plan.schema, partitions)
+
+
+def _hash_join_partition(
+    left_rows: list[tuple],
+    right_rows: list[tuple],
+    left_key_idx: list[int],
+    right_key_idx: list[int],
+    right_keep_idx: list[int],
+    how: str,
+) -> list[tuple]:
+    """Classic build/probe hash join of one partition pair."""
+    build: dict[tuple, list[tuple]] = {}
+    for row in right_rows:
+        key = tuple(row[i] for i in right_key_idx)
+        if any(part is None for part in key):
+            continue  # SQL semantics: NULL keys never match
+        build.setdefault(key, []).append(row)
+    output: list[tuple] = []
+    for row in left_rows:
+        key = tuple(row[i] for i in left_key_idx)
+        if any(part is None for part in key):
+            matches = None
+        else:
+            matches = build.get(key)
+        if how == "inner":
+            if matches:
+                for match in matches:
+                    output.append(row + tuple(match[i] for i in right_keep_idx))
+        elif how == "left":
+            if matches:
+                for match in matches:
+                    output.append(row + tuple(match[i] for i in right_keep_idx))
+            else:
+                output.append(row + tuple(None for _ in right_keep_idx))
+        elif how == "semi":
+            if matches:
+                output.append(row)
+        elif how == "anti":
+            if not matches:
+                output.append(row)
+        else:
+            raise ExecutionError(f"unsupported join type {how!r}")
+    return output
+
+
+def _project_partitioner(plan: Project, partitioner: HashPartitioner | None):
+    """Survive the partitioner through a rename-only projection."""
+    if partitioner is None:
+        return None
+    from .expressions import ColumnRef
+
+    rename: dict[str, str] = {}
+    for out_name, expression in plan.outputs:
+        if isinstance(expression, ColumnRef):
+            rename.setdefault(expression.name, out_name)
+    try:
+        new_columns = tuple(rename[name] for name in partitioner.columns)
+    except KeyError:
+        return None
+    return HashPartitioner(columns=new_columns, num_partitions=partitioner.num_partitions)
+
+
+def _freeze_row(row: tuple) -> tuple:
+    return tuple(tuple(v) if isinstance(v, list) else v for v in row)
+
+
+def _freeze_value(value):
+    """Hashable stand-in for a cell value or a whole row (for DISTINCT)."""
+    if isinstance(value, tuple):
+        return _freeze_row(value)
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _group_sort_key(key: tuple):
+    """Deterministic ordering of group keys (NULLs first)."""
+    return tuple((value is None, "" if value is None else repr(value)) for value in key)
+
+
+def _sort_key(value):
+    """NULLs first, then by type bucket, then value."""
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, bool):
+        return (1, "", int(value))
+    if isinstance(value, (int, float)):
+        return (2, "", float(value))
+    if isinstance(value, str):
+        return (3, value, 0)
+    return (4, repr(value), 0)
+
+
+__all__ = ["PhysicalExecutor", "stable_hash", "estimate_row_bytes"]

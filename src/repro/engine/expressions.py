@@ -1,0 +1,305 @@
+"""Column expressions for filters and projections.
+
+A small Catalyst-style expression tree. Expressions are built with
+:func:`col` and :func:`lit` plus operators::
+
+    (col("age") > lit(18)) & col("email").is_not_null()
+
+Before execution an expression is *bound* to a schema, producing a plain
+Python closure over row tuples — the moral equivalent of Spark's whole-stage
+codegen, and the reason per-row evaluation stays cheap.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..columnar.schema import TableSchema
+from ..errors import PlanError
+
+#: A bound expression: evaluates one row tuple to a value.
+BoundExpression = Callable[[tuple], object]
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def references(self) -> set[str]:
+        """Column names this expression reads."""
+        raise NotImplementedError
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        """Compile to a closure over row tuples laid out as ``schema``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable form for plan explanations."""
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return BinaryComparison("=", self, _as_expression(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return BinaryComparison("!=", self, _as_expression(other))
+
+    def __lt__(self, other):
+        return BinaryComparison("<", self, _as_expression(other))
+
+    def __le__(self, other):
+        return BinaryComparison("<=", self, _as_expression(other))
+
+    def __gt__(self, other):
+        return BinaryComparison(">", self, _as_expression(other))
+
+    def __ge__(self, other):
+        return BinaryComparison(">=", self, _as_expression(other))
+
+    def __and__(self, other):
+        return BooleanOp("and", (self, _as_expression(other)))
+
+    def __or__(self, other):
+        return BooleanOp("or", (self, _as_expression(other)))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __hash__(self):
+        return id(self)
+
+    def is_not_null(self) -> "Expression":
+        return NotNull(self)
+
+    def is_null(self) -> "Expression":
+        return Not(NotNull(self))
+
+    def contains_element(self, value) -> "Expression":
+        """``array_contains`` analogue for list-typed columns."""
+        return ArrayContains(self, _as_expression(value))
+
+    def rlike(self, pattern: str) -> "Expression":
+        return RegexMatch(self, pattern)
+
+
+def _as_expression(value) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return LiteralValue(value)
+
+
+@dataclass(eq=False)
+class ColumnRef(Expression):
+    """A reference to a named column."""
+
+    name: str
+
+    def references(self) -> set[str]:
+        return {self.name}
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        index = schema.index_of(self.name)
+        return lambda row: row[index]
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(eq=False)
+class LiteralValue(Expression):
+    """A constant."""
+
+    value: object
+
+    def references(self) -> set[str]:
+        return set()
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        value = self.value
+        return lambda row: value
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(eq=False)
+class BinaryComparison(Expression):
+    """A comparison; NULL operands make the result false (SQL-like)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        compare = _COMPARATORS[self.op]
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+
+        def evaluate(row: tuple):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return False
+            try:
+                return compare(a, b)
+            except TypeError:
+                return False
+
+        return evaluate
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+@dataclass(eq=False)
+class BooleanOp(Expression):
+    """N-ary AND / OR."""
+
+    op: str
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise PlanError(f"unknown boolean operator {self.op!r}")
+        if not self.operands:
+            raise PlanError("boolean operator needs at least one operand")
+
+    def references(self) -> set[str]:
+        refs: set[str] = set()
+        for operand in self.operands:
+            refs |= operand.references()
+        return refs
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        bound = [operand.bind(schema) for operand in self.operands]
+        if self.op == "and":
+            return lambda row: all(fn(row) for fn in bound)
+        return lambda row: any(fn(row) for fn in bound)
+
+    def describe(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(op.describe() for op in self.operands) + ")"
+
+
+@dataclass(eq=False)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        inner = self.operand.bind(schema)
+        return lambda row: not inner(row)
+
+    def describe(self) -> str:
+        return f"NOT {self.operand.describe()}"
+
+
+@dataclass(eq=False)
+class NotNull(Expression):
+    """``operand IS NOT NULL``."""
+
+    operand: Expression
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        inner = self.operand.bind(schema)
+        return lambda row: inner(row) is not None
+
+    def describe(self) -> str:
+        return f"{self.operand.describe()} IS NOT NULL"
+
+
+@dataclass(eq=False)
+class ArrayContains(Expression):
+    """True when a list-valued operand contains the element."""
+
+    operand: Expression
+    element: Expression
+
+    def references(self) -> set[str]:
+        return self.operand.references() | self.element.references()
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        inner = self.operand.bind(schema)
+        element = self.element.bind(schema)
+
+        def evaluate(row: tuple) -> bool:
+            values = inner(row)
+            if values is None:
+                return False
+            return element(row) in values
+
+        return evaluate
+
+    def describe(self) -> str:
+        return f"array_contains({self.operand.describe()}, {self.element.describe()})"
+
+
+@dataclass(eq=False)
+class RegexMatch(Expression):
+    """Regular-expression search on a string operand (NULL-safe)."""
+
+    operand: Expression
+    pattern: str
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+    def bind(self, schema: TableSchema) -> BoundExpression:
+        inner = self.operand.bind(schema)
+        compiled = re.compile(self.pattern)
+
+        def evaluate(row: tuple) -> bool:
+            value = inner(row)
+            if not isinstance(value, str):
+                return False
+            return compiled.search(value) is not None
+
+        return evaluate
+
+    def describe(self) -> str:
+        return f"{self.operand.describe()} RLIKE {self.pattern!r}"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name."""
+    return ColumnRef(name)
+
+
+def lit(value) -> LiteralValue:
+    """Wrap a constant value."""
+    return LiteralValue(value)
+
+
+def and_all(expressions: list[Expression]) -> Expression | None:
+    """Conjoin a list of expressions; ``None`` for an empty list."""
+    if not expressions:
+        return None
+    if len(expressions) == 1:
+        return expressions[0]
+    return BooleanOp("and", tuple(expressions))

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the PRoST reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller can catch a single base class. Layer-specific subclasses exist for the
+storage substrates, the execution engine, and the SPARQL front end.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class RdfSyntaxError(ReproError):
+    """Raised when parsing serialized RDF (e.g. N-Triples) fails.
+
+    Attributes:
+        line_number: 1-based line number of the offending input line, if known.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class SparqlSyntaxError(ReproError):
+    """Raised when a SPARQL query string cannot be parsed."""
+
+
+class UnsupportedSparqlError(ReproError):
+    """Raised for syntactically valid SPARQL outside the supported fragment."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the storage substrates (HDFS, KV, columnar)."""
+
+
+class FileNotFoundInHdfsError(StorageError):
+    """Raised when a simulated-HDFS path does not exist."""
+
+
+class FileAlreadyExistsError(StorageError):
+    """Raised when creating a simulated-HDFS file over an existing path."""
+
+
+class EncodingError(StorageError):
+    """Raised when a columnar encoder/decoder receives invalid input."""
+
+
+class SchemaError(ReproError):
+    """Raised for schema violations: unknown columns, type mismatches, dupes."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical/physical plan is malformed or cannot be built."""
+
+
+class ExecutionError(ReproError):
+    """Raised when executing a physical plan fails at runtime."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog misuse: missing or duplicate table registrations."""
+
+
+class LoaderError(ReproError):
+    """Raised when loading an RDF graph into a store fails."""
+
+
+class TranslationError(ReproError):
+    """Raised when a SPARQL query cannot be translated to a join tree."""

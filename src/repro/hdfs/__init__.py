@@ -1,0 +1,13 @@
+"""Simulated HDFS: blocks, placement, and a namenode-style filesystem."""
+
+from .blocks import DEFAULT_BLOCK_SIZE, Block, plan_placement, split_into_blocks
+from .filesystem import HdfsFile, SimulatedHdfs
+
+__all__ = [
+    "Block",
+    "DEFAULT_BLOCK_SIZE",
+    "HdfsFile",
+    "SimulatedHdfs",
+    "plan_placement",
+    "split_into_blocks",
+]

@@ -1,0 +1,75 @@
+"""Block model for the simulated HDFS.
+
+Files are split into fixed-size blocks; every block is replicated onto a set
+of datanodes. Placement follows HDFS's default policy shape: the first replica
+goes to a deterministic "local" node, the remaining replicas go to distinct
+other nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: HDFS default block size (128 MiB). The simulated cluster typically uses a
+#: much smaller block size so laptop-scale datasets still span several blocks.
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """One file block.
+
+    Attributes:
+        block_id: globally unique identifier assigned by the namenode.
+        size: payload size in bytes (the final block of a file may be short).
+        replicas: datanode ids that hold a copy, primary first.
+    """
+
+    block_id: int
+    size: int
+    replicas: tuple[int, ...]
+
+    @property
+    def primary_node(self) -> int:
+        """The datanode holding the primary (first-written) replica."""
+        return self.replicas[0]
+
+
+def plan_placement(
+    block_id: int, num_datanodes: int, replication: int, preferred_node: int | None = None
+) -> tuple[int, ...]:
+    """Choose replica nodes for one block.
+
+    Deterministic: the primary node is ``preferred_node`` when given (data
+    locality for a writer pinned to a node), otherwise derived from the block
+    id; further replicas are the following nodes modulo the cluster size.
+
+    Raises:
+        ValueError: when the cluster cannot satisfy the replication factor.
+    """
+    if num_datanodes <= 0:
+        raise ValueError("cluster needs at least one datanode")
+    effective_replication = min(replication, num_datanodes)
+    if effective_replication <= 0:
+        raise ValueError("replication factor must be positive")
+    primary = preferred_node if preferred_node is not None else block_id % num_datanodes
+    primary %= num_datanodes
+    return tuple((primary + offset) % num_datanodes for offset in range(effective_replication))
+
+
+def split_into_blocks(payload_size: int, block_size: int) -> list[int]:
+    """Return block payload sizes for a file of ``payload_size`` bytes.
+
+    A zero-byte file still occupies one (empty) block so it has a location.
+    """
+    if block_size <= 0:
+        raise ValueError("block size must be positive")
+    if payload_size < 0:
+        raise ValueError("payload size must be non-negative")
+    if payload_size == 0:
+        return [0]
+    sizes = [block_size] * (payload_size // block_size)
+    remainder = payload_size % block_size
+    if remainder:
+        sizes.append(remainder)
+    return sizes

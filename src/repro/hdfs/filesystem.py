@@ -1,0 +1,240 @@
+"""Simulated HDFS: a namenode with block-placement over virtual datanodes.
+
+The filesystem stores real bytes (so the columnar layer round-trips through
+it), tracks block locations (so the engine can schedule locality-aware scans),
+and accounts storage per node (so Table 1's "Size" column can be measured).
+Paths are slash-separated strings; directories are implicit, as in HDFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FileAlreadyExistsError, FileNotFoundInHdfsError, StorageError
+from .blocks import DEFAULT_BLOCK_SIZE, Block, plan_placement, split_into_blocks
+
+
+@dataclass
+class HdfsFile:
+    """Namenode metadata plus payload for one file."""
+
+    path: str
+    data: bytes
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def _normalize(path: str) -> str:
+    if not path or path.endswith("/"):
+        raise ValueError(f"invalid HDFS file path: {path!r}")
+    return "/" + path.strip("/")
+
+
+class SimulatedHdfs:
+    """A single-namespace simulated HDFS cluster.
+
+    Args:
+        num_datanodes: number of storage nodes in the cluster.
+        block_size: file split granularity in bytes.
+        replication: copies kept per block (capped at ``num_datanodes``).
+    """
+
+    def __init__(
+        self,
+        num_datanodes: int = 9,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+    ):
+        if num_datanodes <= 0:
+            raise ValueError("num_datanodes must be positive")
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        self.num_datanodes = num_datanodes
+        self.block_size = block_size
+        self.replication = min(replication, num_datanodes)
+        self._files: dict[str, HdfsFile] = {}
+        self._failed: set[int] = set()
+        self._next_block_id = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def write(
+        self, path: str, data: bytes, preferred_node: int | None = None, overwrite: bool = False
+    ) -> HdfsFile:
+        """Create a file, splitting the payload into placed, replicated blocks.
+
+        Args:
+            path: target path; parents are implicit.
+            data: full payload.
+            preferred_node: pin the primary replica of every block to a node
+                (models a writer task running on that node).
+            overwrite: replace an existing file instead of failing.
+
+        Raises:
+            FileAlreadyExistsError: path exists and ``overwrite`` is false.
+        """
+        path = _normalize(path)
+        if path in self._files and not overwrite:
+            raise FileAlreadyExistsError(path)
+        blocks = []
+        for size in split_into_blocks(len(data), self.block_size):
+            replicas = plan_placement(
+                self._next_block_id, self.num_datanodes, self.replication, preferred_node
+            )
+            if self._failed:
+                live = [n for n in range(self.num_datanodes) if n not in self._failed]
+                if not live:
+                    raise StorageError("no live datanodes left to place blocks on")
+                replicas = tuple(
+                    replica if replica not in self._failed else live[replica % len(live)]
+                    for replica in replicas
+                )
+                replicas = tuple(dict.fromkeys(replicas))  # dedupe, keep order
+            blocks.append(Block(self._next_block_id, size, replicas))
+            self._next_block_id += 1
+        file = HdfsFile(path=path, data=data, blocks=blocks)
+        self._files[path] = file
+        return file
+
+    def delete(self, path: str) -> None:
+        """Remove a file.
+
+        Raises:
+            FileNotFoundInHdfsError: when the path does not exist.
+        """
+        path = _normalize(path)
+        if path not in self._files:
+            raise FileNotFoundInHdfsError(path)
+        del self._files[path]
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Remove every file under a directory prefix; return the count."""
+        prefix = "/" + prefix.strip("/")
+        doomed = [p for p in self._files if p == prefix or p.startswith(prefix + "/")]
+        for path in doomed:
+            del self._files[path]
+        return len(doomed)
+
+    # -- reading -------------------------------------------------------------
+
+    def read(self, path: str) -> bytes:
+        """Return a file's full payload.
+
+        Raises:
+            FileNotFoundInHdfsError: when the path does not exist.
+        """
+        return self._require(path).data
+
+    def exists(self, path: str) -> bool:
+        try:
+            return _normalize(path) in self._files
+        except ValueError:
+            return False
+
+    def file_info(self, path: str) -> HdfsFile:
+        """Namenode metadata for one file (blocks, size, locations)."""
+        return self._require(path)
+
+    def list_files(self, prefix: str = "/") -> list[str]:
+        """All file paths under a directory prefix, sorted."""
+        prefix = "/" + prefix.strip("/")
+        if prefix == "/":
+            return sorted(self._files)
+        return sorted(
+            p for p in self._files if p == prefix or p.startswith(prefix + "/")
+        )
+
+    def block_locations(self, path: str) -> list[tuple[int, ...]]:
+        """Replica node-id tuples for each block of a file, in file order."""
+        return [block.replicas for block in self._require(path).blocks]
+
+    # -- accounting ------------------------------------------------------------
+
+    def logical_size(self, prefix: str = "/") -> int:
+        """Bytes stored under a prefix, *before* replication (what ``hdfs dfs
+        -du`` reports and what the paper's Table 1 sizes mean)."""
+        return sum(self._files[p].size for p in self.list_files(prefix))
+
+    def physical_size(self, prefix: str = "/") -> int:
+        """Bytes stored under a prefix including all replicas."""
+        return sum(
+            block.size * len(block.replicas)
+            for path in self.list_files(prefix)
+            for block in self._files[path].blocks
+        )
+
+    def node_usage(self) -> dict[int, int]:
+        """Bytes held per datanode (replicas counted where they live)."""
+        usage = {node: 0 for node in range(self.num_datanodes)}
+        for file in self._files.values():
+            for block in file.blocks:
+                for node in block.replicas:
+                    usage[node] += block.size
+        return usage
+
+    # -- failure handling -------------------------------------------------------
+
+    def fail_node(self, node: int) -> int:
+        """Take a datanode out of service and re-replicate its blocks.
+
+        As HDFS's namenode does on a datanode death: every block that had a
+        replica on the failed node gets a new replica on a surviving node
+        (copied from a surviving replica), keeping the replication factor
+        whenever enough nodes remain. Returns the number of blocks repaired.
+
+        Raises:
+            ValueError: for an unknown node id.
+            StorageError: when some block had its *only* replica on the node
+                (data loss — with replication ≥ 2 this cannot happen).
+        """
+        if not 0 <= node < self.num_datanodes:
+            raise ValueError(f"unknown datanode {node}")
+        repaired = 0
+        survivors = [n for n in range(self.num_datanodes) if n != node and n not in self._failed]
+        self._failed.add(node)
+        for file in self._files.values():
+            for index, block in enumerate(file.blocks):
+                if node not in block.replicas:
+                    continue
+                remaining = tuple(r for r in block.replicas if r != node)
+                if not remaining:
+                    raise StorageError(
+                        f"block {block.block_id} of {file.path} lost its last replica"
+                    )
+                candidates = [n for n in survivors if n not in remaining]
+                if candidates:
+                    # Deterministic choice: the replacement follows the
+                    # surviving primary around the ring.
+                    replacement = min(
+                        candidates, key=lambda n: (n - remaining[0]) % self.num_datanodes
+                    )
+                    remaining = remaining + (replacement,)
+                file.blocks[index] = Block(block.block_id, block.size, remaining)
+                repaired += 1
+        return repaired
+
+    @property
+    def failed_nodes(self) -> frozenset[int]:
+        """Datanodes currently out of service."""
+        return frozenset(self._failed)
+
+    @property
+    def live_nodes(self) -> int:
+        """Number of in-service datanodes."""
+        return self.num_datanodes - len(self._failed)
+
+    def _require(self, path: str) -> HdfsFile:
+        path = _normalize(path)
+        file = self._files.get(path)
+        if file is None:
+            raise FileNotFoundInHdfsError(path)
+        return file
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedHdfs({self.num_datanodes} nodes, "
+            f"{len(self._files)} files, {self.logical_size()} bytes)"
+        )

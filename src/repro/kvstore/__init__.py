@@ -1,0 +1,13 @@
+"""Sorted key-value store (mini-Accumulo): sorted runs, tablets, scans."""
+
+from .sstable import SortedRun, merge_runs, prefix_upper_bound
+from .store import ScanMetrics, SortedKeyValueStore, Tablet
+
+__all__ = [
+    "ScanMetrics",
+    "SortedKeyValueStore",
+    "SortedRun",
+    "Tablet",
+    "merge_runs",
+    "prefix_upper_bound",
+]

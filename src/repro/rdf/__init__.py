@@ -1,0 +1,51 @@
+"""RDF data model: terms, triples, N-Triples I/O, graphs, and statistics."""
+
+from .graph import Graph
+from .ntriples import (
+    parse_ntriples,
+    parse_ntriples_file,
+    parse_ntriples_string,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from .stats import GraphStatistics, PredicateStatistics, collect_statistics
+from .stats_io import (
+    load_statistics,
+    save_statistics,
+    statistics_from_json,
+    statistics_to_json,
+)
+from .terms import (
+    IRI,
+    RDF_TYPE,
+    BlankNode,
+    Literal,
+    SubjectTerm,
+    Term,
+    Triple,
+    term_sort_key,
+)
+
+__all__ = [
+    "IRI",
+    "RDF_TYPE",
+    "BlankNode",
+    "Graph",
+    "GraphStatistics",
+    "Literal",
+    "PredicateStatistics",
+    "SubjectTerm",
+    "Term",
+    "Triple",
+    "collect_statistics",
+    "load_statistics",
+    "save_statistics",
+    "statistics_from_json",
+    "statistics_to_json",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "parse_ntriples_string",
+    "serialize_ntriples",
+    "term_sort_key",
+    "write_ntriples_file",
+]

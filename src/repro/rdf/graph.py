@@ -1,0 +1,107 @@
+"""In-memory RDF graph container.
+
+:class:`Graph` is the hand-off format between the workload generators / parsers
+and the store loaders. It deduplicates triples and offers the simple access
+paths the loaders need: iteration, grouping by predicate, and grouping by
+subject.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .ntriples import parse_ntriples_file, parse_ntriples_string, serialize_ntriples
+from .terms import IRI, SubjectTerm, Term, Triple, term_sort_key
+
+
+class Graph:
+    """A set of RDF triples with predicate- and subject-grouped views.
+
+    The graph is set-semantic: inserting a duplicate triple is a no-op, which
+    matches the behaviour of every store the paper evaluates.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._triples: set[Triple] = set()
+        self._by_predicate: dict[IRI, set[Triple]] = defaultdict(set)
+        self._by_subject: dict[SubjectTerm, set[Triple]] = defaultdict(set)
+        for triple in triples:
+            self.add(triple)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; return ``True`` when it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_predicate[triple.predicate].add(triple)
+        self._by_subject[triple.subject].add(triple)
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return how many were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    @classmethod
+    def from_ntriples(cls, text: str) -> "Graph":
+        """Build a graph from an N-Triples document held in a string."""
+        return cls(parse_ntriples_string(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Graph":
+        """Build a graph from an N-Triples file."""
+        return cls(parse_ntriples_file(path))
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    @property
+    def predicates(self) -> list[IRI]:
+        """All distinct predicates, sorted for deterministic iteration."""
+        return sorted(self._by_predicate, key=lambda p: p.value)
+
+    @property
+    def subjects(self) -> list[SubjectTerm]:
+        """All distinct subjects, sorted for deterministic iteration."""
+        return sorted(self._by_subject, key=term_sort_key)
+
+    def triples_with_predicate(self, predicate: IRI) -> list[Triple]:
+        """All triples using ``predicate``, in deterministic (subject) order."""
+        triples = self._by_predicate.get(predicate, set())
+        return sorted(triples, key=lambda t: (term_sort_key(t.subject), term_sort_key(t.object)))
+
+    def triples_with_subject(self, subject: SubjectTerm) -> list[Triple]:
+        """All triples about ``subject``, in deterministic (predicate) order."""
+        triples = self._by_subject.get(subject, set())
+        return sorted(triples, key=lambda t: (t.predicate.value, term_sort_key(t.object)))
+
+    def objects(self, subject: SubjectTerm, predicate: IRI) -> list[Term]:
+        """All object values for a (subject, predicate) pair, sorted."""
+        values = [t.object for t in self._by_subject.get(subject, ()) if t.predicate == predicate]
+        return sorted(values, key=term_sort_key)
+
+    def predicate_counts(self) -> dict[IRI, int]:
+        """Triple count per predicate (input to the statistics collector)."""
+        return {pred: len(triples) for pred, triples in self._by_predicate.items()}
+
+    def to_ntriples(self) -> str:
+        """Serialize the graph deterministically (sorted) to N-Triples."""
+        ordered = sorted(
+            self._triples,
+            key=lambda t: (term_sort_key(t.subject), t.predicate.value, term_sort_key(t.object)),
+        )
+        return serialize_ntriples(ordered)
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self._triples)} triples, {len(self._by_predicate)} predicates)"

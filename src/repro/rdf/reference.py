@@ -1,0 +1,303 @@
+"""Reference SPARQL evaluator over an in-memory graph.
+
+A deliberately simple backtracking BGP matcher used as the *correctness
+oracle* in the test suite: every store in this repository (PRoST in both
+strategies, SPARQLGX, S2RDF, and Rya) must return exactly the same solutions
+as this evaluator on the same graph. It is index-assisted but makes no claim
+to efficiency.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from collections.abc import Iterator
+
+from ..sparql.algebra import (
+    And,
+    Comparison,
+    FilterExpression,
+    Or,
+    PatternTerm,
+    Regex,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from .graph import Graph
+from .terms import Literal, Term, Triple, term_sort_key
+
+#: One solution: a mapping from variable name to the bound RDF term.
+Binding = dict[str, Term]
+
+
+class ReferenceEvaluator:
+    """Evaluates :class:`SelectQuery` objects against a :class:`Graph`."""
+
+    def __init__(self, graph: Graph):
+        self._triples = list(graph)
+        # Positional indexes: (s,), (p,), (o,), (s,p), (p,o), (s,o), (s,p,o).
+        self._index: dict[tuple[int, ...], dict[tuple, list[Triple]]] = {}
+        for positions in ((0,), (1,), (2,), (0, 1), (1, 2), (0, 2), (0, 1, 2)):
+            bucket: dict[tuple, list[Triple]] = defaultdict(list)
+            for triple in self._triples:
+                parts = (triple.subject, triple.predicate, triple.object)
+                bucket[tuple(parts[i] for i in positions)].append(triple)
+            self._index[positions] = bucket
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate(self, query: SelectQuery) -> list[tuple[Term | None, ...]]:
+        """Return result rows as tuples ordered by the query projection.
+
+        The rows are post-processed exactly as SPARQL prescribes: filters,
+        projection, DISTINCT, ORDER BY, then OFFSET/LIMIT. Without ORDER BY
+        the rows are sorted deterministically so comparisons are stable.
+        """
+        if query.is_union:
+            matched: list[Binding] = []
+            for branch in query.union_branches:
+                matched.extend(self._match_patterns(list(branch), {}))
+        else:
+            matched = list(self._match_patterns(list(query.patterns), {}))
+            for group in query.optional_groups:
+                matched = self._apply_optional(matched, list(group))
+        bindings = [
+            binding
+            for binding in matched
+            if all(evaluate_filter(f, binding) for f in query.filters)
+        ]
+        projection = query.projection
+        if query.is_aggregate:
+            rows = _aggregate_rows(query, bindings)
+        else:
+            rows = [
+                tuple(binding.get(var.name) for var in projection)
+                for binding in bindings
+            ]
+        if query.distinct:
+            unique: dict[tuple, tuple] = {}
+            for row in rows:
+                unique.setdefault(_row_key(row), row)
+            rows = list(unique.values())
+        if query.order_by:
+            for condition in reversed(query.order_by):
+                position = projection.index(condition.variable)
+                rows.sort(
+                    key=lambda row: _term_key(row[position]),
+                    reverse=condition.descending,
+                )
+        else:
+            rows.sort(key=_row_key)
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    def count(self, query: SelectQuery) -> int:
+        """Number of solutions (after DISTINCT/LIMIT processing)."""
+        return len(self.evaluate(query))
+
+    def ask(self, query: SelectQuery) -> bool:
+        """Whether the query has at least one solution."""
+        return bool(self.evaluate(query))
+
+    # -- matching ------------------------------------------------------------
+
+    def _apply_optional(
+        self, bindings: list[Binding], patterns: list[TriplePattern]
+    ) -> list[Binding]:
+        """SPARQL OPTIONAL (left join): extend each binding with every
+        compatible match of the optional group, or keep it unextended when
+        the group has no compatible match."""
+        extended: list[Binding] = []
+        for binding in bindings:
+            matches = list(self._match_patterns(patterns, binding))
+            if matches:
+                extended.extend(matches)
+            else:
+                extended.append(binding)
+        return extended
+
+    def _match_patterns(
+        self, patterns: list[TriplePattern], binding: Binding
+    ) -> Iterator[Binding]:
+        if not patterns:
+            yield binding
+            return
+        pattern, rest = patterns[0], patterns[1:]
+        for triple in self._candidates(pattern, binding):
+            extended = _try_bind(pattern, triple, binding)
+            if extended is not None:
+                yield from self._match_patterns(rest, extended)
+
+    def _candidates(self, pattern: TriplePattern, binding: Binding) -> list[Triple]:
+        """Fetch candidate triples using the most specific available index."""
+        slots = (pattern.subject, pattern.predicate, pattern.object)
+        bound_positions: list[int] = []
+        bound_values: list[Term] = []
+        for position, slot in enumerate(slots):
+            value = _resolve(slot, binding)
+            if value is not None:
+                bound_positions.append(position)
+                bound_values.append(value)
+        if not bound_positions:
+            return self._triples
+        key_positions = tuple(bound_positions)
+        return self._index[key_positions].get(tuple(bound_values), [])
+
+
+def _resolve(slot: PatternTerm, binding: Binding) -> Term | None:
+    """A concrete term for ``slot``: itself, its binding, or None if free."""
+    if isinstance(slot, Variable):
+        return binding.get(slot.name)
+    return slot
+
+
+def _try_bind(pattern: TriplePattern, triple: Triple, binding: Binding) -> Binding | None:
+    """Unify ``pattern`` with ``triple`` under ``binding``; None on clash."""
+    result = dict(binding)
+    for slot, value in zip(
+        (pattern.subject, pattern.predicate, pattern.object),
+        (triple.subject, triple.predicate, triple.object),
+    ):
+        if isinstance(slot, Variable):
+            existing = result.get(slot.name)
+            if existing is None:
+                result[slot.name] = value
+            elif existing != value:
+                return None
+        elif slot != value:
+            return None
+    return result
+
+
+# -- aggregation ----------------------------------------------------------------
+
+
+def _aggregate_rows(query: SelectQuery, bindings: list[Binding]) -> list[tuple]:
+    """SPARQL 1.1 COUNT/GROUP BY over matched bindings.
+
+    Rows are ``group_by`` terms (in ``query.variables`` order) followed by
+    one integer literal per aggregate. Without GROUP BY, a single group
+    holds all solutions (even zero of them).
+    """
+    from .terms import Literal, XSD_INTEGER
+
+    groups: dict[tuple, list[Binding]] = {}
+    if query.group_by:
+        for binding in bindings:
+            key = tuple(
+                None if binding.get(v.name) is None else binding[v.name].n3()
+                for v in query.group_by
+            )
+            groups.setdefault(key, []).append(binding)
+    else:
+        groups[()] = bindings
+
+    rows: list[tuple] = []
+    for members in groups.values():
+        cells: list = []
+        representative = members[0] if members else {}
+        for variable in query.variables:
+            cells.append(representative.get(variable.name))
+        for aggregate in query.aggregates:
+            if aggregate.variable is None:
+                if aggregate.distinct:
+                    count = len(
+                        {
+                            tuple(sorted((k, t.n3()) for k, t in b.items()))
+                            for b in members
+                        }
+                    )
+                else:
+                    count = len(members)
+            else:
+                bound = [
+                    b[aggregate.variable.name].n3()
+                    for b in members
+                    if aggregate.variable.name in b
+                ]
+                count = len(set(bound)) if aggregate.distinct else len(bound)
+            cells.append(Literal(str(count), datatype=XSD_INTEGER))
+        rows.append(tuple(cells))
+    return rows
+
+
+# -- filter evaluation --------------------------------------------------------
+
+
+def evaluate_filter(expression: FilterExpression, binding: Binding) -> bool:
+    """Evaluate a filter expression under a binding (SPARQL-style semantics).
+
+    An unbound variable or an uncomparable pair makes the expression false
+    (SPARQL type errors eliminate the solution).
+    """
+    if isinstance(expression, And):
+        return all(evaluate_filter(op, binding) for op in expression.operands)
+    if isinstance(expression, Or):
+        return any(evaluate_filter(op, binding) for op in expression.operands)
+    if isinstance(expression, Regex):
+        value = binding.get(expression.variable.name)
+        if not isinstance(value, Literal):
+            return False
+        return re.search(expression.pattern, value.lexical) is not None
+    return _evaluate_comparison(expression, binding)
+
+
+def _evaluate_comparison(comparison: Comparison, binding: Binding) -> bool:
+    left = _resolve(comparison.left, binding)
+    right = _resolve(comparison.right, binding)
+    if left is None or right is None:
+        return False
+    if comparison.op == "=":
+        return compare_terms_equal(left, right)
+    if comparison.op == "!=":
+        return not compare_terms_equal(left, right)
+    ordered = compare_terms_ordered(left, right)
+    if ordered is None:
+        return False
+    if comparison.op == "<":
+        return ordered < 0
+    if comparison.op == "<=":
+        return ordered <= 0
+    if comparison.op == ">":
+        return ordered > 0
+    return ordered >= 0
+
+
+def compare_terms_equal(left: Term, right: Term) -> bool:
+    """Equality with numeric coercion for typed literals."""
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        left_value, right_value = left.to_python(), right.to_python()
+        if _both_numeric(left_value, right_value):
+            return float(left_value) == float(right_value)
+        return left.lexical == right.lexical and left.language == right.language
+    return left == right
+
+
+def compare_terms_ordered(left: Term, right: Term) -> int | None:
+    """Three-way ordering comparison; None when the pair is uncomparable."""
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        left_value, right_value = left.to_python(), right.to_python()
+        if _both_numeric(left_value, right_value):
+            left_num, right_num = float(left_value), float(right_value)
+            return (left_num > right_num) - (left_num < right_num)
+        return (left.lexical > right.lexical) - (left.lexical < right.lexical)
+    return None
+
+
+def _both_numeric(left, right) -> bool:
+    return isinstance(left, (int, float)) and not isinstance(left, bool) and \
+        isinstance(right, (int, float)) and not isinstance(right, bool)
+
+
+def _term_key(term: Term | None):
+    if term is None:
+        return (-1, "")
+    return term_sort_key(term)
+
+
+def _row_key(row: tuple[Term | None, ...]):
+    return tuple(_term_key(term) for term in row)

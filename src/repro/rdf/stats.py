@@ -1,0 +1,152 @@
+"""Graph statistics used for join ordering.
+
+The paper (§3.3) relies on two statistics collected during loading, "simple
+but effective in practice": the total number of triples per predicate and the
+number of distinct subjects per predicate. Both are computed here in one pass.
+
+As the extended statistics from the paper's future-work section (§5), this
+module also implements *characteristic sets* (Neumann & Moerkotte): the count
+of subjects per exact predicate-set, which gives much sharper cardinality
+estimates for star-shaped sub-queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from .graph import Graph
+from .terms import IRI
+
+
+@dataclass(frozen=True)
+class PredicateStatistics:
+    """Per-predicate statistics collected at load time.
+
+    Attributes:
+        triple_count: total number of triples using the predicate.
+        distinct_subjects: number of distinct subjects using the predicate.
+        distinct_objects: number of distinct object values for the predicate.
+        is_multivalued: whether any subject carries more than one object value,
+            which forces a list-typed Property Table column (paper §3.1).
+    """
+
+    triple_count: int
+    distinct_subjects: int
+    distinct_objects: int
+    is_multivalued: bool
+
+    @property
+    def objects_per_subject(self) -> float:
+        """Average number of object values per subject (>= 1.0)."""
+        if self.distinct_subjects == 0:
+            return 0.0
+        return self.triple_count / self.distinct_subjects
+
+
+@dataclass
+class GraphStatistics:
+    """All statistics the translators consume, keyed by predicate IRI string.
+
+    Attributes:
+        total_triples: size of the graph.
+        total_subjects: number of distinct subjects in the graph.
+        predicates: per-predicate statistics.
+        characteristic_sets: optional extended statistics — a count of subjects
+            for each exact frozenset of predicate IRI strings. ``None`` unless
+            collected with ``level="extended"``.
+    """
+
+    total_triples: int
+    total_subjects: int
+    predicates: dict[str, PredicateStatistics]
+    characteristic_sets: dict[frozenset[str], int] | None = field(default=None)
+
+    def for_predicate(self, predicate: str | IRI) -> PredicateStatistics:
+        """Look up statistics for one predicate.
+
+        Unknown predicates (possible when a query mentions a predicate absent
+        from the data) get empty statistics, so the translator scores them as
+        maximally selective — matching the behaviour of an empty VP table.
+        """
+        key = predicate.value if isinstance(predicate, IRI) else predicate
+        return self.predicates.get(key, _EMPTY_PREDICATE_STATS)
+
+    def star_subject_estimate(self, predicates: set[str]) -> int | None:
+        """Estimate how many subjects carry *all* of ``predicates``.
+
+        Uses characteristic sets when available (sum over supersets); returns
+        ``None`` when extended statistics were not collected.
+        """
+        if self.characteristic_sets is None:
+            return None
+        wanted = frozenset(predicates)
+        return sum(
+            count
+            for char_set, count in self.characteristic_sets.items()
+            if wanted <= char_set
+        )
+
+
+_EMPTY_PREDICATE_STATS = PredicateStatistics(
+    triple_count=0, distinct_subjects=0, distinct_objects=0, is_multivalued=False
+)
+
+
+def collect_statistics(graph: Graph, level: str = "simple") -> GraphStatistics:
+    """Collect graph statistics in a single pass over the graph.
+
+    Args:
+        graph: the input RDF graph.
+        level: ``"simple"`` for the paper's two statistics, ``"extended"`` to
+            additionally collect characteristic sets (paper §5 future work).
+
+    Raises:
+        ValueError: for an unknown ``level``.
+    """
+    if level not in ("simple", "extended"):
+        raise ValueError(f"unknown statistics level: {level!r}")
+
+    subjects_by_predicate: dict[str, set] = defaultdict(set)
+    objects_by_predicate: dict[str, set] = defaultdict(set)
+    pair_counts: Counter[tuple] = Counter()
+    predicates_by_subject: dict = defaultdict(set)
+
+    total = 0
+    for triple in graph:
+        total += 1
+        key = triple.predicate.value
+        subjects_by_predicate[key].add(triple.subject)
+        objects_by_predicate[key].add(triple.object)
+        pair_counts[(triple.subject, key)] += 1
+        if level == "extended":
+            predicates_by_subject[triple.subject].add(key)
+
+    multivalued = {
+        predicate
+        for (subject, predicate), count in pair_counts.items()
+        if count > 1
+    }
+
+    per_predicate: dict[str, PredicateStatistics] = {}
+    for predicate, subjects in subjects_by_predicate.items():
+        per_predicate[predicate] = PredicateStatistics(
+            triple_count=len(graph.triples_with_predicate(IRI(predicate))),
+            distinct_subjects=len(subjects),
+            distinct_objects=len(objects_by_predicate[predicate]),
+            is_multivalued=predicate in multivalued,
+        )
+
+    characteristic_sets = None
+    if level == "extended":
+        characteristic_sets = Counter(
+            frozenset(preds) for preds in predicates_by_subject.values()
+        )
+        characteristic_sets = dict(characteristic_sets)
+
+    return GraphStatistics(
+        total_triples=total,
+        total_subjects=len(graph.subjects),
+        predicates=per_predicate,
+        characteristic_sets=characteristic_sets,
+    )

@@ -1,0 +1,87 @@
+"""Persistence for graph statistics.
+
+PRoST computes its statistics once, during loading, and stores them next to
+the data so later query sessions skip the pass over the graph. This module
+serializes :class:`~repro.rdf.stats.GraphStatistics` to JSON and back,
+including the optional characteristic sets.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..hdfs.filesystem import SimulatedHdfs
+from .stats import GraphStatistics, PredicateStatistics
+
+#: Current serialization format version.
+FORMAT_VERSION = 1
+
+
+def statistics_to_json(statistics: GraphStatistics) -> str:
+    """Serialize statistics to a JSON document."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "total_triples": statistics.total_triples,
+        "total_subjects": statistics.total_subjects,
+        "predicates": {
+            iri: {
+                "triple_count": stats.triple_count,
+                "distinct_subjects": stats.distinct_subjects,
+                "distinct_objects": stats.distinct_objects,
+                "is_multivalued": stats.is_multivalued,
+            }
+            for iri, stats in sorted(statistics.predicates.items())
+        },
+    }
+    if statistics.characteristic_sets is not None:
+        payload["characteristic_sets"] = [
+            {"predicates": sorted(char_set), "count": count}
+            for char_set, count in sorted(
+                statistics.characteristic_sets.items(),
+                key=lambda item: sorted(item[0]),
+            )
+        ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def statistics_from_json(text: str) -> GraphStatistics:
+    """Parse statistics serialized by :func:`statistics_to_json`.
+
+    Raises:
+        ValueError: for unknown format versions or malformed documents.
+    """
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported statistics format version: {version!r}")
+    predicates = {
+        iri: PredicateStatistics(
+            triple_count=entry["triple_count"],
+            distinct_subjects=entry["distinct_subjects"],
+            distinct_objects=entry["distinct_objects"],
+            is_multivalued=entry["is_multivalued"],
+        )
+        for iri, entry in payload["predicates"].items()
+    }
+    characteristic_sets = None
+    if "characteristic_sets" in payload:
+        characteristic_sets = {
+            frozenset(entry["predicates"]): entry["count"]
+            for entry in payload["characteristic_sets"]
+        }
+    return GraphStatistics(
+        total_triples=payload["total_triples"],
+        total_subjects=payload["total_subjects"],
+        predicates=predicates,
+        characteristic_sets=characteristic_sets,
+    )
+
+
+def save_statistics(hdfs: SimulatedHdfs, path: str, statistics: GraphStatistics) -> None:
+    """Write statistics to a (simulated) HDFS path, replacing any old file."""
+    hdfs.write(path, statistics_to_json(statistics).encode("utf-8"), overwrite=True)
+
+
+def load_statistics(hdfs: SimulatedHdfs, path: str) -> GraphStatistics:
+    """Read statistics saved with :func:`save_statistics`."""
+    return statistics_from_json(hdfs.read(path).decode("utf-8"))

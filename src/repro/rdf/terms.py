@@ -1,0 +1,210 @@
+"""RDF term model: IRIs, literals, blank nodes, and triples.
+
+Terms are immutable, hashable value objects so they can be used as dictionary
+keys throughout the loaders and the execution engine. The model follows RDF
+1.1 Concepts: a *subject* is an IRI or blank node, a *predicate* is an IRI,
+and an *object* is any term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Datatype IRI of plain (simple) literals under RDF 1.1.
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XSD_DECIMAL = "http://www.w3.org/2001/XMLSchema#decimal"
+XSD_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+
+#: The rdf:type predicate, special-cased by several RDF stores.
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An absolute IRI reference, e.g. ``IRI("http://example.org/alice")``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization, e.g. ``<http://...>``."""
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node with a document-scoped label, e.g. ``_:b0``."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization, e.g. ``_:b0``."""
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal: a lexical form plus optional datatype or language tag.
+
+    A literal has *either* a language tag (then its datatype is implicitly
+    ``rdf:langString``) or a datatype IRI. A literal with neither is a simple
+    literal whose datatype is ``xsd:string``.
+    """
+
+    lexical: str
+    datatype: str | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype is not None:
+            raise ValueError("a literal cannot have both a language tag and a datatype")
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization with escapes applied."""
+        escaped = escape_literal(self.lexical)
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype is not None and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def to_python(self) -> str | int | float | bool:
+        """Best-effort conversion of the lexical form to a Python value.
+
+        Falls back to the raw lexical form when the datatype is unknown or the
+        lexical form does not parse.
+        """
+        if self.datatype == XSD_INTEGER:
+            try:
+                return int(self.lexical)
+            except ValueError:
+                return self.lexical
+        if self.datatype == XSD_DECIMAL:
+            try:
+                return float(self.lexical)
+            except ValueError:
+                return self.lexical
+        if self.datatype == XSD_BOOLEAN:
+            if self.lexical in ("true", "1"):
+                return True
+            if self.lexical in ("false", "0"):
+                return False
+            return self.lexical
+        return self.lexical
+
+
+#: Any RDF term.
+Term = Union[IRI, BlankNode, Literal]
+#: Terms allowed in the subject position.
+SubjectTerm = Union[IRI, BlankNode]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """One RDF statement ``(subject, predicate, object)``."""
+
+    subject: SubjectTerm
+    predicate: IRI
+    object: Term
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization including the final dot."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+_UNESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "'": "'",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+def escape_literal(text: str) -> str:
+    """Escape a literal's lexical form for N-Triples output.
+
+    Beyond the mandatory escapes (quote, backslash, LF, CR, TAB), every other
+    control character — including Unicode line separators such as U+2028 —
+    is written as ``\\uXXXX`` so serialized documents stay strictly
+    one-statement-per-line under any line-splitting convention.
+    """
+    out: list[str] = []
+    for ch in text:
+        escaped = _ESCAPES.get(ch)
+        if escaped is not None:
+            out.append(escaped)
+        elif ord(ch) < 0x20 or ch in ("\x85", "\u2028", "\u2029"):
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def unescape_literal(text: str) -> str:
+    """Reverse :func:`escape_literal`, including ``\\uXXXX``/``\\UXXXXXXXX``.
+
+    Raises:
+        ValueError: on a dangling backslash or unknown escape sequence.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise ValueError("dangling backslash in literal")
+        nxt = text[i + 1]
+        if nxt in _UNESCAPES:
+            out.append(_UNESCAPES[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(text[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise ValueError(f"unknown escape sequence \\{nxt}")
+    return "".join(out)
+
+
+def term_sort_key(term: Term) -> tuple[int, str]:
+    """A total order over terms: IRIs, then blank nodes, then literals.
+
+    Within each kind, terms sort by their string value. Used wherever a
+    deterministic ordering of results or index keys is needed.
+    """
+    if isinstance(term, IRI):
+        return (0, term.value)
+    if isinstance(term, BlankNode):
+        return (1, term.label)
+    return (2, term.n3())

@@ -1,0 +1,37 @@
+"""SPARQL front end: tokenizer, parser, algebra, and shape analysis."""
+
+from .analysis import BgpAnalysis, analyze_bgp, analyze_query
+from .algebra import (
+    And,
+    Comparison,
+    CountAggregate,
+    FilterExpression,
+    Or,
+    OrderCondition,
+    Regex,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from .parser import DEFAULT_PREFIXES, parse_sparql
+from .tokenizer import Token, tokenize
+
+__all__ = [
+    "And",
+    "BgpAnalysis",
+    "CountAggregate",
+    "analyze_bgp",
+    "analyze_query",
+    "Comparison",
+    "DEFAULT_PREFIXES",
+    "FilterExpression",
+    "Or",
+    "OrderCondition",
+    "Regex",
+    "SelectQuery",
+    "Token",
+    "TriplePattern",
+    "Variable",
+    "parse_sparql",
+    "tokenize",
+]

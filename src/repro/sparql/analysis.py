@@ -1,0 +1,180 @@
+"""Structural analysis of basic graph patterns.
+
+WatDiv groups its queries by *shape* — star, linear, snowflake, complex —
+and the paper's evaluation (§4.1) reports per-shape results. This module
+classifies an arbitrary BGP into those classes from its join graph:
+
+- **star** — every triple pattern shares one subject variable;
+- **linear** — the patterns form a path: each join variable links exactly
+  two patterns and no variable anchors more than two patterns;
+- **snowflake** — several stars connected by path edges;
+- **complex** — anything denser (cycles, high-degree hubs, mixed shapes).
+
+It also computes the quantities the translators reason about: join
+variables, the join-graph degree of each variable, and connectivity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .algebra import SelectQuery, TriplePattern, Variable
+
+#: The shape classes, in WatDiv's naming.
+SHAPES = ("star", "linear", "snowflake", "complex")
+
+
+@dataclass(frozen=True)
+class BgpAnalysis:
+    """Structural facts about one basic graph pattern.
+
+    Attributes:
+        shape: one of :data:`SHAPES`.
+        num_patterns: triple-pattern count.
+        join_variables: variables occurring in two or more patterns.
+        subject_stars: subject variables anchoring ≥2 patterns, with sizes.
+        is_connected: whether the join graph has a single component.
+        has_cycle: whether the join graph contains a cycle.
+    """
+
+    shape: str
+    num_patterns: int
+    join_variables: frozenset[Variable]
+    subject_stars: dict[Variable, int]
+    is_connected: bool
+    has_cycle: bool
+
+
+def analyze_bgp(patterns: tuple[TriplePattern, ...] | list[TriplePattern]) -> BgpAnalysis:
+    """Classify a conjunction of triple patterns by shape."""
+    patterns = list(patterns)
+    if not patterns:
+        raise ValueError("cannot analyze an empty pattern list")
+
+    occurrences: dict[Variable, list[int]] = defaultdict(list)
+    for index, pattern in enumerate(patterns):
+        for variable in pattern.variables:
+            occurrences[variable].append(index)
+    join_variables = {v for v, where in occurrences.items() if len(where) > 1}
+
+    subject_stars: dict[Variable, int] = {}
+    for variable in join_variables | set(occurrences):
+        size = sum(1 for p in patterns if p.subject == variable)
+        if size >= 2:
+            subject_stars[variable] = size
+
+    connected = _is_connected(patterns, occurrences)
+    cycle = _has_cycle(patterns, join_variables)
+
+    shape = _classify(patterns, join_variables, subject_stars, connected, cycle)
+    return BgpAnalysis(
+        shape=shape,
+        num_patterns=len(patterns),
+        join_variables=frozenset(join_variables),
+        subject_stars=subject_stars,
+        is_connected=connected,
+        has_cycle=cycle,
+    )
+
+
+def analyze_query(query: SelectQuery) -> BgpAnalysis:
+    """Classify a query's full pattern set (required + optional + union)."""
+    return analyze_bgp(query.all_patterns())
+
+
+def _classify(
+    patterns: list[TriplePattern],
+    join_variables: set[Variable],
+    subject_stars: dict[Variable, int],
+    connected: bool,
+    cycle: bool,
+) -> str:
+    if len(patterns) == 1:
+        return "linear"
+    if not connected or cycle:
+        return "complex"
+    if len(subject_stars) == 1 and sum(subject_stars.values()) == len(patterns):
+        return "star"
+    # Degree of each join variable in the join graph (patterns it touches).
+    degrees = {
+        variable: sum(1 for p in patterns if variable in p.variables)
+        for variable in join_variables
+    }
+    if degrees and max(degrees.values()) <= 2 and not subject_stars:
+        return "linear"
+    if subject_stars:
+        return "snowflake"
+    return "complex"
+
+
+def _is_connected(patterns: list[TriplePattern], occurrences) -> bool:
+    if len(patterns) <= 1:
+        return True
+    adjacency: dict[int, set[int]] = defaultdict(set)
+    for indexes in occurrences.values():
+        for a in indexes:
+            for b in indexes:
+                if a != b:
+                    adjacency[a].add(b)
+    # Constant terms shared between patterns also connect them.
+    by_constant: dict[str, list[int]] = defaultdict(list)
+    for index, pattern in enumerate(patterns):
+        for slot in (pattern.subject, pattern.object):
+            if not isinstance(slot, Variable):
+                by_constant[slot.n3()].append(index)
+    for indexes in by_constant.values():
+        for a in indexes:
+            for b in indexes:
+                if a != b:
+                    adjacency[a].add(b)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(patterns)
+
+
+def _has_cycle(patterns: list[TriplePattern], join_variables: set[Variable]) -> bool:
+    """Cycle detection on the bipartite pattern/variable incidence graph.
+
+    A BGP's join graph has a cycle exactly when the bipartite graph between
+    patterns and their join variables has more edges than a forest allows.
+    """
+    edges = 0
+    nodes = len(patterns)
+    used_variables: set[Variable] = set()
+    for index, pattern in enumerate(patterns):
+        for variable in pattern.variables & join_variables:
+            edges += 1
+            used_variables.add(variable)
+    nodes += len(used_variables)
+    # A connected forest has nodes − components edges; count components.
+    components = _count_components(patterns, join_variables, used_variables)
+    return edges > nodes - components
+
+
+def _count_components(patterns, join_variables, used_variables) -> int:
+    parent: dict[object, object] = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    for index, pattern in enumerate(patterns):
+        find(("p", index))
+        for variable in pattern.variables & join_variables:
+            union(("p", index), ("v", variable))
+    roots = {find(("p", i)) for i in range(len(patterns))}
+    roots |= {find(("v", v)) for v in used_variables}
+    return len(roots)

@@ -1,0 +1,110 @@
+"""Tokenizer for the supported SPARQL fragment.
+
+Produces a flat token stream for the recursive-descent parser. Token kinds:
+
+- ``IRIREF``   — ``<http://...>`` (value without the angle brackets)
+- ``PNAME``    — prefixed name ``wsdbm:User`` or bare prefix ``wsdbm:``
+- ``VAR``      — ``?name`` / ``$name`` (value without the sigil)
+- ``STRING``   — quoted literal lexical form (unescaped)
+- ``LANGTAG``  — ``@en`` (value without ``@``)
+- ``NUMBER``   — integer or decimal lexical form
+- ``KEYWORD``  — SELECT/WHERE/... (value upper-cased) and the ``a`` shorthand
+- ``PUNCT``    — ``{ } ( ) . ; , = != < <= > >= && || ^^ *``
+- ``BNODE``    — ``_:label``
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import SparqlSyntaxError
+from ..rdf.terms import unescape_literal
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FILTER", "PREFIX", "BASE",
+    "LIMIT", "OFFSET", "ORDER", "BY", "ASC", "DESC", "REGEX", "UNION",
+    "OPTIONAL", "A", "COUNT", "AS", "GROUP", "ASK", "CONSTRUCT", "DESCRIBE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<LANGTAG>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<NUMBER>[+-]?\d+(?:\.\d+)?)
+  | (?P<BNODE>_:[A-Za-z0-9][A-Za-z0-9_.-]*)
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_.-]*?:[A-Za-z0-9_.-]*|[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>\^\^|&&|\|\||!=|<=|>=|[{}().;,=<>*!])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+#: Sentinel token appended at the end of every stream.
+def _eof(position: int) -> Token:
+    return Token("EOF", "", position)
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize a query string.
+
+    Raises:
+        SparqlSyntaxError: on characters outside the grammar.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(query)
+    while pos < length:
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {query[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "WS":
+            pos = match.end()
+            continue
+        if kind == "IRIREF":
+            tokens.append(Token("IRIREF", text[1:-1], pos))
+        elif kind == "VAR":
+            tokens.append(Token("VAR", text[1:], pos))
+        elif kind == "STRING":
+            try:
+                tokens.append(Token("STRING", unescape_literal(text[1:-1]), pos))
+            except ValueError as exc:
+                raise SparqlSyntaxError(f"bad literal at offset {pos}: {exc}") from exc
+        elif kind == "LANGTAG":
+            tokens.append(Token("LANGTAG", text[1:], pos))
+        elif kind == "BNODE":
+            tokens.append(Token("BNODE", text[2:], pos))
+        elif kind == "PNAME":
+            upper = text.upper()
+            if ":" not in text and upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, pos))
+            elif ":" in text:
+                tokens.append(Token("PNAME", text, pos))
+            else:
+                raise SparqlSyntaxError(
+                    f"unexpected identifier {text!r} at offset {pos}"
+                )
+        else:
+            tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(_eof(pos))
+    return tokens

@@ -1,0 +1,299 @@
+"""WatDiv-style dataset generator.
+
+Reproduces the *structure* of the WatDiv data model at laptop scale: the same
+entity classes, property domains/ranges, multi-valued properties, and
+correlations (products have genres/topics; users like products, follow each
+other, and make purchases; retailers offer products through offers; reviews
+link products to users). Deterministic for a given ``(scale, seed)``.
+
+The real WatDiv100M dataset (the paper's workload) is a 100M-triple instance
+of this schema; our generator produces the closest synthetic equivalent the
+evaluation can run on a laptop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Triple
+from .schema import (
+    DC,
+    FOAF,
+    GN,
+    GR,
+    MO,
+    OG,
+    RDF_TYPE,
+    REV,
+    SORG,
+    WSDBM,
+    XSD,
+    Populations,
+    entity_iri,
+)
+
+_WORDS = (
+    "alpha", "bravo", "cirrus", "delta", "ember", "fjord", "glade", "harbor",
+    "indigo", "juniper", "krypton", "lumen", "meadow", "nimbus", "onyx",
+    "prairie", "quartz", "ridge", "summit", "tundra", "umber", "vertex",
+    "willow", "xenon", "yonder", "zephyr",
+)
+
+
+@dataclass
+class WatDivDataset:
+    """A generated graph plus the entity registries queries draw from."""
+
+    graph: Graph
+    scale: int
+    seed: int
+    users: list[IRI] = field(default_factory=list)
+    products: list[IRI] = field(default_factory=list)
+    reviews: list[IRI] = field(default_factory=list)
+    offers: list[IRI] = field(default_factory=list)
+    retailers: list[IRI] = field(default_factory=list)
+    websites: list[IRI] = field(default_factory=list)
+    purchases: list[IRI] = field(default_factory=list)
+    cities: list[IRI] = field(default_factory=list)
+    countries: list[IRI] = field(default_factory=list)
+    topics: list[IRI] = field(default_factory=list)
+    sub_genres: list[IRI] = field(default_factory=list)
+    languages: list[IRI] = field(default_factory=list)
+    product_categories: list[IRI] = field(default_factory=list)
+    roles: list[IRI] = field(default_factory=list)
+    age_groups: list[IRI] = field(default_factory=list)
+
+    def placeholder(self, kind: str, salt: int = 0) -> IRI:
+        """A deterministic representative entity for query templates.
+
+        Always picks from the front third of the registry, where the Zipfian
+        assignment concentrates references, so instantiated queries have
+        non-empty results — mirroring how WatDiv instantiates ``%x%``
+        placeholders from the generated data.
+        """
+        registry = {
+            "user": self.users,
+            "product": self.products,
+            "retailer": self.retailers,
+            "website": self.websites,
+            "city": self.cities,
+            "country": self.countries,
+            "topic": self.topics,
+            "sub_genre": self.sub_genres,
+            "language": self.languages,
+            "product_category": self.product_categories,
+            "role": self.roles,
+            "age_group": self.age_groups,
+        }[kind]
+        window = max(1, len(registry) // 3)
+        return registry[salt % window]
+
+
+def _zipf_choice(rng: random.Random, items: list[IRI]) -> IRI:
+    """Zipf-flavoured pick: low indexes are much more popular (WatDiv's
+    popularity skew, which is what makes some placeholders selective and
+    others not)."""
+    n = len(items)
+    # Inverse-CDF sampling of a discrete power law via a squared uniform.
+    index = int(n * rng.random() ** 2.2)
+    return items[min(index, n - 1)]
+
+
+def _sample_distinct(rng: random.Random, items: list[IRI], count: int) -> list[IRI]:
+    picked: dict[str, IRI] = {}
+    attempts = 0
+    while len(picked) < count and attempts < count * 4:
+        item = _zipf_choice(rng, items)
+        picked[item.value] = item
+        attempts += 1
+    return list(picked.values())
+
+
+def _string(rng: random.Random, words: int) -> Literal:
+    return Literal(" ".join(rng.choice(_WORDS) for _ in range(words)))
+
+
+def _integer(value: int) -> Literal:
+    return Literal(str(value), datatype=XSD + "integer")
+
+
+def _date(rng: random.Random) -> Literal:
+    year = rng.randint(2000, 2017)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return Literal(f"{year:04d}-{month:02d}-{day:02d}", datatype=XSD + "date")
+
+
+def generate_watdiv(scale: int = 300, seed: int = 7) -> WatDivDataset:
+    """Generate a deterministic WatDiv-style dataset.
+
+    Args:
+        scale: roughly the user count; triples ≈ 55-65 × scale.
+        seed: RNG seed; the same (scale, seed) always yields the same graph.
+    """
+    populations = Populations(scale)
+    rng = random.Random(seed)
+    graph = Graph()
+    dataset = WatDivDataset(graph=graph, scale=scale, seed=seed)
+
+    def add(subject: IRI, predicate: str, obj) -> None:
+        graph.add(Triple(subject, IRI(predicate), obj))
+
+    # -- dictionaries -----------------------------------------------------------
+    dataset.countries = [IRI(entity_iri("Country", i)) for i in range(populations.countries)]
+    dataset.topics = [IRI(entity_iri("Topic", i)) for i in range(populations.topics)]
+    dataset.sub_genres = [IRI(entity_iri("SubGenre", i)) for i in range(populations.sub_genres)]
+    dataset.languages = [IRI(entity_iri("Language", i)) for i in range(populations.languages)]
+    dataset.product_categories = [
+        IRI(entity_iri("ProductCategory", i)) for i in range(populations.product_categories)
+    ]
+    dataset.roles = [IRI(entity_iri("Role", i)) for i in range(populations.roles)]
+    dataset.age_groups = [IRI(entity_iri("AgeGroup", i)) for i in range(populations.age_groups)]
+
+    # Sub-genres are first-class entities in WatDiv: they are typed and
+    # carry topic tags, which query F1 navigates through.
+    genre_class = IRI(entity_iri("Genre", 0))
+    for sub_genre in dataset.sub_genres:
+        add(sub_genre, RDF_TYPE, genre_class)
+        for topic in _sample_distinct(rng, dataset.topics, rng.randint(1, 2)):
+            add(sub_genre, OG + "tag", topic)
+
+    # -- geography ---------------------------------------------------------------
+    dataset.cities = [IRI(entity_iri("City", i)) for i in range(populations.cities)]
+    for city in dataset.cities:
+        add(city, GN + "parentCountry", _zipf_choice(rng, dataset.countries))
+
+    # -- websites -----------------------------------------------------------------
+    dataset.websites = [IRI(entity_iri("Website", i)) for i in range(populations.websites)]
+    for website in dataset.websites:
+        add(website, SORG + "url", _string(rng, 1))
+        add(website, WSDBM + "hits", _integer(rng.randint(1, 1_000_000)))
+        if rng.random() < 0.6:
+            add(website, SORG + "language", _zipf_choice(rng, dataset.languages))
+
+    # -- users ----------------------------------------------------------------------
+    dataset.users = [IRI(entity_iri("User", i)) for i in range(populations.users)]
+    for user in dataset.users:
+        add(user, RDF_TYPE, _zipf_choice(rng, dataset.roles))
+        add(user, WSDBM + "userId", _integer(rng.randint(1, 10 * populations.users)))
+        if rng.random() < 0.9:
+            add(user, FOAF + "givenName", _string(rng, 1))
+        if rng.random() < 0.9:
+            add(user, FOAF + "familyName", _string(rng, 1))
+        if rng.random() < 0.8:
+            add(user, WSDBM + "gender", _string(rng, 1))
+        if rng.random() < 0.7:
+            add(user, FOAF + "age", _zipf_choice(rng, dataset.age_groups))
+        if rng.random() < 0.6:
+            add(user, DC + "Location", _zipf_choice(rng, dataset.cities))
+        if rng.random() < 0.7:
+            add(user, SORG + "nationality", _zipf_choice(rng, dataset.countries))
+        if rng.random() < 0.25:
+            add(user, SORG + "jobTitle", _string(rng, 1))
+        if rng.random() < 0.3:
+            add(user, SORG + "email", _string(rng, 1))
+        if rng.random() < 0.2:
+            add(user, FOAF + "homepage", _zipf_choice(rng, dataset.websites))
+
+    # -- social edges (multi-valued) ---------------------------------------------------
+    for user in dataset.users:
+        for friend in _sample_distinct(rng, dataset.users, rng.randint(0, 12)):
+            if friend != user:
+                add(user, WSDBM + "follows", friend)
+        for friend in _sample_distinct(rng, dataset.users, rng.randint(2, 9)):
+            if friend != user:
+                add(user, WSDBM + "friendOf", friend)
+        for website in _sample_distinct(rng, dataset.websites, rng.randint(0, 2)):
+            add(user, WSDBM + "subscribes", website)
+
+    # -- products --------------------------------------------------------------------------
+    dataset.products = [IRI(entity_iri("Product", i)) for i in range(populations.products)]
+    for product in dataset.products:
+        add(product, RDF_TYPE, _zipf_choice(rng, dataset.product_categories))
+        for genre in _sample_distinct(rng, dataset.sub_genres, rng.randint(1, 3)):
+            add(product, WSDBM + "hasGenre", genre)
+        for topic in _sample_distinct(rng, dataset.topics, rng.randint(0, 2)):
+            add(product, OG + "tag", topic)
+        if rng.random() < 0.75:
+            add(product, OG + "title", _string(rng, 2))
+        if rng.random() < 0.5:
+            add(product, SORG + "caption", _string(rng, 3))
+        if rng.random() < 0.6:
+            add(product, SORG + "description", _string(rng, 5))
+        if rng.random() < 0.45:
+            add(product, SORG + "keywords", _string(rng, 3))
+        if rng.random() < 0.35:
+            add(product, SORG + "contentRating", _string(rng, 1))
+        if rng.random() < 0.35:
+            add(product, SORG + "contentSize", _integer(rng.randint(1, 5000)))
+        if rng.random() < 0.4:
+            add(product, SORG + "text", _string(rng, 6))
+        if rng.random() < 0.5:
+            add(product, SORG + "language", _zipf_choice(rng, dataset.languages))
+        if rng.random() < 0.2:
+            add(product, SORG + "trailer", _string(rng, 1))
+        if rng.random() < 0.3:
+            add(product, SORG + "publisher", _string(rng, 1))
+        if rng.random() < 0.25:
+            add(product, SORG + "actor", _zipf_choice(rng, dataset.users))
+        if rng.random() < 0.2:
+            add(product, MO + "artist", _zipf_choice(rng, dataset.users))
+        if rng.random() < 0.12:
+            add(product, MO + "conductor", _zipf_choice(rng, dataset.users))
+        if rng.random() < 0.25:
+            add(product, FOAF + "homepage", _zipf_choice(rng, dataset.websites))
+
+    # -- likes (user → product, multi-valued, Zipf on products) ---------------------------------
+    for user in dataset.users:
+        for product in _sample_distinct(rng, dataset.products, rng.randint(1, 8)):
+            add(user, WSDBM + "likes", product)
+
+    # -- reviews -----------------------------------------------------------------------------------
+    dataset.reviews = [IRI(entity_iri("Review", i)) for i in range(populations.reviews)]
+    for review in dataset.reviews:
+        product = _zipf_choice(rng, dataset.products)
+        add(product, REV + "hasReview", review)
+        add(review, REV + "reviewer", _zipf_choice(rng, dataset.users))
+        add(review, REV + "rating", _integer(rng.randint(1, 10)))
+        if rng.random() < 0.7:
+            add(review, REV + "title", _string(rng, 2))
+        if rng.random() < 0.5:
+            add(review, REV + "text", _string(rng, 8))
+        if rng.random() < 0.6:
+            add(review, REV + "totalVotes", _integer(rng.randint(0, 500)))
+
+    # -- retailers and offers ---------------------------------------------------------------------------
+    dataset.retailers = [IRI(entity_iri("Retailer", i)) for i in range(populations.retailers)]
+    dataset.offers = [IRI(entity_iri("Offer", i)) for i in range(populations.offers)]
+    for retailer in dataset.retailers:
+        add(retailer, SORG + "legalName", _string(rng, 2))
+    for index, offer in enumerate(dataset.offers):
+        retailer = dataset.retailers[index % len(dataset.retailers)]
+        add(retailer, GR + "offers", offer)
+        add(offer, GR + "includes", _zipf_choice(rng, dataset.products))
+        add(offer, GR + "price", _integer(rng.randint(1, 2000)))
+        if rng.random() < 0.65:
+            add(offer, GR + "serialNumber", _integer(rng.randint(1, 10**6)))
+        if rng.random() < 0.6:
+            add(offer, GR + "validFrom", _date(rng))
+        if rng.random() < 0.6:
+            add(offer, GR + "validThrough", _date(rng))
+        if rng.random() < 0.55:
+            add(offer, SORG + "eligibleQuantity", _integer(rng.randint(1, 100)))
+        for country in _sample_distinct(rng, dataset.countries, rng.randint(0, 3)):
+            add(offer, SORG + "eligibleRegion", country)
+        if rng.random() < 0.45:
+            add(offer, SORG + "priceValidUntil", _date(rng))
+
+    # -- purchases ----------------------------------------------------------------------------------------
+    dataset.purchases = [IRI(entity_iri("Purchase", i)) for i in range(populations.purchases)]
+    for purchase in dataset.purchases:
+        buyer = _zipf_choice(rng, dataset.users)
+        add(buyer, WSDBM + "makesPurchase", purchase)
+        add(purchase, WSDBM + "purchaseFor", _zipf_choice(rng, dataset.products))
+        if rng.random() < 0.8:
+            add(purchase, WSDBM + "purchaseDate", _date(rng))
+
+    return dataset

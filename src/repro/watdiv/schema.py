@@ -1,0 +1,179 @@
+"""WatDiv-style schema: namespaces, entity classes, and property universe.
+
+The Waterloo SPARQL Diversity Test Suite (Aluç et al., ISWC 2014) models an
+e-commerce universe — users, products, reviews, offers, retailers, websites —
+whose property mix stresses very different query shapes. This module pins
+down the schema our generator reproduces: entity classes with scale-dependent
+populations and the properties used by the 20 basic-testing queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WSDBM = "http://db.uwaterloo.ca/~galuc/wsdbm/"
+FOAF = "http://xmlns.com/foaf/"
+DC = "http://purl.org/dc/terms/"
+SORG = "http://schema.org/"
+GR = "http://purl.org/goodrelations/"
+GN = "http://www.geonames.org/ontology#"
+MO = "http://purl.org/ontology/mo/"
+OG = "http://ogp.me/ns#"
+REV = "http://purl.org/stuff/rev#"
+RDF = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+XSD = "http://www.w3.org/2001/XMLSchema#"
+
+RDF_TYPE = RDF + "type"
+
+
+def entity_iri(kind: str, index: int) -> str:
+    """The IRI of the ``index``-th entity of a class, e.g. ``wsdbm:User37``."""
+    return f"{WSDBM}{kind}{index}"
+
+
+@dataclass(frozen=True)
+class Populations:
+    """Entity counts derived from the scale factor.
+
+    ``scale`` roughly equals the user count; total triples come out at about
+    55-65 × scale, so ``scale=1700`` gives a ~100k-triple graph (a 1/1000
+    scale model of the paper's WatDiv100M).
+    """
+
+    scale: int
+
+    def __post_init__(self) -> None:
+        if self.scale < 10:
+            raise ValueError("scale must be at least 10")
+
+    @property
+    def users(self) -> int:
+        return self.scale
+
+    @property
+    def products(self) -> int:
+        return max(25, self.scale // 2)
+
+    @property
+    def reviews(self) -> int:
+        return max(30, int(self.products * 1.5))
+
+    @property
+    def offers(self) -> int:
+        return max(20, int(self.products * 0.9))
+
+    @property
+    def retailers(self) -> int:
+        return max(3, self.scale // 60)
+
+    @property
+    def websites(self) -> int:
+        return max(5, self.scale // 20)
+
+    @property
+    def purchases(self) -> int:
+        return max(25, int(self.scale * 1.2))
+
+    @property
+    def cities(self) -> int:
+        return max(12, self.scale // 40)
+
+    @property
+    def countries(self) -> int:
+        return 25
+
+    @property
+    def topics(self) -> int:
+        return max(16, self.scale // 25)
+
+    @property
+    def sub_genres(self) -> int:
+        return 21
+
+    @property
+    def languages(self) -> int:
+        return 10
+
+    @property
+    def product_categories(self) -> int:
+        return 15
+
+    @property
+    def roles(self) -> int:
+        return 3
+
+    @property
+    def age_groups(self) -> int:
+        return 9
+
+
+#: Properties that are multi-valued by construction (list columns in the PT).
+MULTIVALUED_PROPERTIES = frozenset(
+    {
+        WSDBM + "follows",
+        WSDBM + "friendOf",
+        WSDBM + "likes",
+        WSDBM + "subscribes",
+        WSDBM + "makesPurchase",
+        WSDBM + "hasGenre",
+        OG + "tag",
+        REV + "hasReview",
+        SORG + "eligibleRegion",
+    }
+)
+
+#: Query-relevant predicate IRIs, for documentation and tests.
+ALL_PROPERTIES = (
+    RDF_TYPE,
+    WSDBM + "follows",
+    WSDBM + "friendOf",
+    WSDBM + "likes",
+    WSDBM + "subscribes",
+    WSDBM + "makesPurchase",
+    WSDBM + "purchaseFor",
+    WSDBM + "purchaseDate",
+    WSDBM + "userId",
+    WSDBM + "gender",
+    WSDBM + "hasGenre",
+    WSDBM + "hits",
+    FOAF + "familyName",
+    FOAF + "givenName",
+    FOAF + "age",
+    FOAF + "homepage",
+    DC + "Location",
+    SORG + "nationality",
+    SORG + "jobTitle",
+    SORG + "email",
+    SORG + "caption",
+    SORG + "description",
+    SORG + "keywords",
+    SORG + "contentRating",
+    SORG + "contentSize",
+    SORG + "text",
+    SORG + "language",
+    SORG + "trailer",
+    SORG + "publisher",
+    SORG + "actor",
+    SORG + "url",
+    SORG + "legalName",
+    SORG + "eligibleRegion",
+    SORG + "eligibleQuantity",
+    SORG + "priceValidUntil",
+    OG + "title",
+    OG + "tag",
+    MO + "artist",
+    MO + "conductor",
+    GR + "offers",
+    GR + "includes",
+    GR + "price",
+    GR + "serialNumber",
+    GR + "validFrom",
+    GR + "validThrough",
+    GN + "parentCountry",
+    REV + "hasReview",
+    REV + "reviewer",
+    REV + "title",
+    REV + "text",
+    REV + "rating",
+    REV + "totalVotes",
+)

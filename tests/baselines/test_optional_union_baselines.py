@@ -1,0 +1,55 @@
+"""OPTIONAL / UNION behaviour of the baselines.
+
+Rya (whose real implementation speaks full SPARQL through the Sesame SAIL)
+evaluates both; the two compiled-plan baselines reject them explicitly.
+"""
+
+import pytest
+
+from repro.baselines import Rya, S2Rdf, SparqlGx
+from repro.errors import UnsupportedSparqlError
+from repro.rdf import Graph
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+
+from ..conftest import SOCIAL_NT
+
+EXTENDED_QUERIES = [
+    'SELECT ?x ?n ?a WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/age> ?a } }',
+    'SELECT ?x ?co WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/city> ?ci . ?ci <http://ex/country> ?co } }',
+    'SELECT ?x WHERE { { ?x <http://ex/age> ?a } UNION { ?x <http://ex/city> ?c } }',
+    'SELECT ?x ?v WHERE { { ?x <http://ex/knows> ?v } UNION '
+    '{ ?x <http://ex/tag> ?v } }',
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return Graph.from_ntriples(SOCIAL_NT)
+
+
+class TestRyaExtensions:
+    @pytest.mark.parametrize("query", EXTENDED_QUERIES)
+    def test_rya_matches_reference(self, graph, query):
+        rya = Rya()
+        rya.load(graph)
+        parsed = parse_sparql(query)
+        assert rya.sparql(parsed).rows == ReferenceEvaluator(graph).evaluate(parsed)
+
+
+class TestCompiledBaselinesReject:
+    @pytest.mark.parametrize("query", EXTENDED_QUERIES[:1] + EXTENDED_QUERIES[2:3])
+    def test_sparqlgx_rejects(self, graph, query):
+        system = SparqlGx()
+        system.load(graph)
+        with pytest.raises(UnsupportedSparqlError):
+            system.sparql(query)
+
+    @pytest.mark.parametrize("query", EXTENDED_QUERIES[:1] + EXTENDED_QUERIES[2:3])
+    def test_s2rdf_rejects(self, graph, query):
+        system = S2Rdf()
+        system.load(graph)
+        with pytest.raises(UnsupportedSparqlError):
+            system.sparql(query)

@@ -1,0 +1,108 @@
+"""Rya baseline tests: index layout, index choice, nested-loop correctness."""
+
+import pytest
+
+from repro.baselines import Rya
+from repro.baselines.rya import RyaCostModel, _best_index
+from repro.rdf import Graph
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+
+from ..conftest import SOCIAL_NT, SOCIAL_QUERIES
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return Graph.from_ntriples(SOCIAL_NT)
+
+
+@pytest.fixture(scope="module")
+def loaded(graph):
+    system = Rya()
+    system.load(graph)
+    return system
+
+
+class TestLoading:
+    def test_three_index_tables(self, loaded, graph):
+        for table in ("spo", "pos", "osp"):
+            assert loaded.store.table_size(table) == len(graph)
+
+    def test_load_report_triples(self, loaded, graph):
+        assert loaded.load_report.triples_loaded == len(graph)
+        assert loaded.load_report.tables_written == 3
+
+    def test_data_replicated_three_times(self, loaded, graph):
+        total_entries = sum(loaded.store.table_size(t) for t in ("spo", "pos", "osp"))
+        assert total_entries == 3 * len(graph)
+
+
+class TestIndexChoice:
+    def test_subject_bound_uses_spo(self):
+        table, prefix = _best_index(["<s>", None, None])
+        assert table == "spo"
+        assert prefix == ["<s>"]
+
+    def test_predicate_bound_uses_pos(self):
+        table, prefix = _best_index([None, "<p>", None])
+        assert table == "pos"
+
+    def test_object_bound_uses_osp(self):
+        table, prefix = _best_index([None, None, "<o>"])
+        assert table == "osp"
+
+    def test_predicate_object_prefers_pos(self):
+        table, prefix = _best_index([None, "<p>", "<o>"])
+        assert table == "pos"
+        assert prefix == ["<p>", "<o>"]
+
+    def test_nothing_bound_scans_spo(self):
+        table, prefix = _best_index([None, None, None])
+        assert table == "spo"
+        assert prefix == []
+
+    def test_fully_bound_uses_full_key(self):
+        _, prefix = _best_index(["<s>", "<p>", "<o>"])
+        assert len(prefix) == 3
+
+
+class TestQuerying:
+    @pytest.mark.parametrize("query", SOCIAL_QUERIES)
+    def test_matches_reference(self, loaded, graph, query):
+        parsed = parse_sparql(query)
+        want = ReferenceEvaluator(graph).evaluate(parsed)
+        assert loaded.sparql(parsed).rows == want
+
+    def test_query_before_load_rejected(self):
+        with pytest.raises(RuntimeError):
+            Rya().sparql("SELECT ?s WHERE { ?s <http://ex/p> ?o }")
+
+    def test_selective_query_costs_less_than_scan_heavy(self, loaded):
+        selective = loaded.sparql(
+            "SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }"
+        ).report.simulated_sec
+        heavy = loaded.sparql(
+            "SELECT ?x WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/knows> ?z . "
+            "?z <http://ex/knows> ?w }"
+        ).report.simulated_sec
+        assert heavy > selective
+
+    def test_cost_scales_with_data_scale(self, graph):
+        scaled = Rya(cost_model=RyaCostModel(data_scale=1000.0))
+        scaled.load(graph)
+        base_result = scaled.sparql("SELECT ?n WHERE { ?x <http://ex/name> ?n }")
+        plain = Rya()
+        plain.load(graph)
+        plain_result = plain.sparql("SELECT ?n WHERE { ?x <http://ex/name> ?n }")
+        ratio = base_result.report.simulated_sec / plain_result.report.simulated_sec
+        assert ratio == pytest.approx(1000.0)
+
+    def test_join_reordering_starts_with_most_bound(self, loaded):
+        query = parse_sparql(
+            "SELECT ?n WHERE { ?x <http://ex/knows> ?y . "
+            "<http://ex/alice> <http://ex/name> ?n }"
+        )
+        ordered = loaded._reorder(list(query.patterns))
+        from repro.rdf.terms import IRI
+
+        assert ordered[0].predicate == IRI("http://ex/name")

@@ -1,0 +1,119 @@
+"""S2RDF baseline tests: ExtVP semantics, table choice, correctness."""
+
+import pytest
+
+from repro.baselines import S2Rdf
+from repro.baselines.s2rdf import _join_positions
+from repro.rdf import Graph
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+from repro.sparql.algebra import TriplePattern, Variable
+from repro.rdf.terms import IRI
+
+from ..conftest import SOCIAL_NT, SOCIAL_QUERIES
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return Graph.from_ntriples(SOCIAL_NT)
+
+
+@pytest.fixture(scope="module")
+def loaded(graph):
+    system = S2Rdf(selectivity_threshold=1.0)
+    system.load(graph)
+    return system
+
+
+class TestExtVpComputation:
+    def test_reductions_recorded_for_joinable_pairs(self, loaded):
+        entries = loaded.extvp_entries()
+        assert entries, "some reductions must exist"
+        # knows ⋈(OS) name: objects of knows that are subjects of name.
+        entry = loaded._ext[("http://ex/knows", "http://ex/name", "OS")]
+        assert entry.row_count == 4  # all knows-objects have names
+
+    def test_reduction_contents_are_a_semi_join(self, loaded, graph):
+        """ExtVP_knows|country^OS keeps only knows-rows whose object is a
+        subject of country — nothing in this graph qualifies."""
+        entry = loaded._ext[("http://ex/knows", "http://ex/country", "OS")]
+        assert entry.is_empty
+
+    def test_selectivity_bounds(self, loaded):
+        for entry in loaded.extvp_entries():
+            assert 0.0 <= entry.selectivity < 1.0 or entry.table_name is None
+
+    def test_full_reductions_not_persisted(self, loaded):
+        for entry in loaded.extvp_entries():
+            if entry.selectivity >= 1.0:
+                assert entry.table_name is None
+
+    def test_threshold_limits_persistence(self, graph):
+        strict = S2Rdf(selectivity_threshold=0.0)
+        report = strict.load(graph)
+        persisted = [e for e in strict.extvp_entries() if e.table_name]
+        assert persisted == []
+        loose = S2Rdf(selectivity_threshold=1.0)
+        loose_report = loose.load(graph)
+        assert loose_report.stored_bytes > report.stored_bytes
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            S2Rdf(selectivity_threshold=1.5)
+
+
+class TestJoinPositions:
+    def test_all_four_positions(self):
+        s, o, z = Variable("s"), Variable("o"), Variable("z")
+        p = IRI("http://ex/p")
+        base = TriplePattern(s, p, o)
+        assert _join_positions(base, TriplePattern(s, p, z)) == "SS"
+        assert _join_positions(base, TriplePattern(z, p, s)) == "SO"
+        assert _join_positions(base, TriplePattern(o, p, z)) == "OS"
+        assert _join_positions(base, TriplePattern(z, p, o)) == "OO"
+
+    def test_no_shared_variable(self):
+        p = IRI("http://ex/p")
+        a = TriplePattern(Variable("a"), p, Variable("b"))
+        b = TriplePattern(Variable("c"), p, Variable("d"))
+        assert _join_positions(a, b) is None
+
+
+class TestQuerying:
+    @pytest.mark.parametrize("query", SOCIAL_QUERIES)
+    def test_matches_reference(self, loaded, graph, query):
+        parsed = parse_sparql(query)
+        want = ReferenceEvaluator(graph).evaluate(parsed)
+        assert loaded.sparql(parsed).rows == want
+
+    def test_empty_reduction_short_circuits(self, loaded):
+        # knows.o ⋈ country.s is empty, so the whole query is provably empty
+        # without touching the cluster.
+        result = loaded.sparql(
+            "SELECT ?c WHERE { ?a <http://ex/knows> ?x . ?x <http://ex/country> ?c }"
+        )
+        assert result.rows == []
+        assert result.report.engine_report is None  # never executed
+
+    def test_unknown_predicate_yields_empty(self, loaded):
+        assert loaded.sparql("SELECT ?s WHERE { ?s <http://ex/zzz> ?o }").rows == []
+
+    def test_reduced_tables_are_preferred(self, loaded):
+        # city|knows^SO has selectivity 2/3 < 1, so the city pattern reads
+        # the persisted reduction instead of the full VP table.
+        frame = loaded.dataframe(
+            parse_sparql(
+                "SELECT ?a ?ci WHERE { ?a <http://ex/knows> ?x . ?x <http://ex/city> ?ci }"
+            )
+        )
+        assert "s2_ext_so_city__knows" in frame.explain()
+
+    def test_full_reductions_fall_back_to_vp(self, loaded):
+        # Every city-country reduction is full (selectivity 1.0): plain VP.
+        frame = loaded.dataframe(
+            parse_sparql(
+                "SELECT ?x ?c WHERE { ?x <http://ex/city> ?ci . ?ci <http://ex/country> ?c }"
+            )
+        )
+        assert "s2_ext_" not in frame.explain()
+        assert "s2_vp_" in frame.explain()

@@ -1,0 +1,73 @@
+"""SPARQLGX-SDE (direct evaluation) baseline tests."""
+
+import pytest
+
+from repro.baselines import SparqlGx, SparqlGxDirect
+from repro.rdf import Graph
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+
+from ..conftest import SOCIAL_NT, SOCIAL_QUERIES
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return Graph.from_ntriples(SOCIAL_NT)
+
+
+@pytest.fixture(scope="module")
+def sde(graph):
+    system = SparqlGxDirect()
+    system.load(graph)
+    return system
+
+
+class TestLoading:
+    def test_loading_is_a_single_file_copy(self, sde):
+        report = sde.load_report
+        assert report.tables_written == 1
+        assert sde.session.hdfs.exists("/sparqlgx-sde/triples.nt")
+
+    def test_loading_is_much_faster_than_preprocessing(self, graph):
+        preprocessing = SparqlGx()
+        preprocessing_report = preprocessing.load(graph)
+        direct = SparqlGxDirect()
+        direct_report = direct.load(graph)
+        assert direct_report.simulated_sec < preprocessing_report.simulated_sec / 10
+
+
+class TestQuerying:
+    @pytest.mark.parametrize("query", SOCIAL_QUERIES)
+    def test_matches_reference(self, sde, graph, query):
+        parsed = parse_sparql(query)
+        assert sde.sparql(parsed).rows == ReferenceEvaluator(graph).evaluate(parsed)
+
+    def test_queries_scan_the_whole_file(self, sde, graph):
+        """Every pattern's scan reads the full triple table (the SDE cost)."""
+        result = sde.sparql(
+            "SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }"
+        )
+        metrics = result.report.engine_report.metrics
+        assert metrics.rows_scanned == len(graph)
+
+    def test_queries_cost_more_than_preprocessed_sparqlgx(self, graph):
+        preprocessing = SparqlGx()
+        preprocessing.load(graph)
+        direct = SparqlGxDirect()
+        direct.load(graph)
+        query = parse_sparql(
+            "SELECT ?x ?c WHERE { ?x <http://ex/city> ?ci . ?ci <http://ex/country> ?c }"
+        )
+        assert (
+            direct.sparql(query).report.simulated_sec
+            >= preprocessing.sparql(query).report.simulated_sec
+        )
+
+    def test_optional_rejected(self, sde):
+        from repro.errors import UnsupportedSparqlError
+
+        with pytest.raises(UnsupportedSparqlError):
+            sde.sparql(
+                "SELECT ?x WHERE { ?x <http://ex/name> ?n . "
+                "OPTIONAL { ?x <http://ex/age> ?a } }"
+            )

@@ -1,0 +1,118 @@
+"""Benchmark harness tests (small scale): runs, aggregation, rendering."""
+
+import pytest
+
+from repro.bench import (
+    BenchmarkConfig,
+    BenchmarkSuite,
+    render_figure2,
+    render_figure3,
+    render_table1,
+    render_table2,
+    speedup_table,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return BenchmarkSuite(BenchmarkConfig(scale=40, seed=11))
+
+
+class TestSuiteSetup:
+    def test_twenty_queries_prepared(self, suite):
+        assert len(suite.queries) == 20
+
+    def test_data_scale_emulates_paper_dataset(self, suite):
+        assert suite.data_scale == pytest.approx(
+            suite.config.emulated_triples / len(suite.dataset.graph)
+        )
+
+    def test_factories_share_cluster_shape(self, suite):
+        prost = suite.make_prost()
+        assert prost.session.config.num_workers == suite.config.num_workers
+        assert prost.session.config.data_scale == pytest.approx(suite.data_scale)
+
+
+class TestRuns:
+    @pytest.fixture(scope="class")
+    def prost_run(self, suite):
+        return suite.run_system(suite.make_prost())
+
+    def test_run_covers_all_queries(self, prost_run):
+        assert len(prost_run.queries) == 20
+        for result in prost_run.queries.values():
+            assert result.simulated_sec > 0
+
+    def test_average_by_group(self, prost_run):
+        averages = prost_run.average_by_group()
+        assert set(averages) == {"C", "F", "L", "S"}
+        assert all(value > 0 for value in averages.values())
+
+    def test_strategy_comparison_runs_both(self, suite):
+        runs = suite.run_strategy_comparison()
+        assert set(runs) == {"VP only", "Mixed (VP + PT)"}
+
+    def test_loading_comparison_covers_four_systems(self, suite):
+        reports = suite.run_loading_comparison()
+        assert [r.system for r in reports] == ["PRoST", "SPARQLGX", "S2RDF", "Rya"]
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def runs(self, suite):
+        # Two cheap systems suffice to exercise the renderers.
+        return {
+            "PRoST": suite.run_system(suite.make_prost()),
+            "SPARQLGX": suite.run_system(suite.make_sparqlgx()),
+        }
+
+    def test_table1_rendering(self, suite):
+        text = render_table1(suite.run_loading_comparison(), suite.data_scale)
+        assert "Table 1" in text and "PRoST" in text and "GB" in text
+
+    def test_figure_rendering(self, runs):
+        text = render_figure3(runs)
+        assert "Figure 3" in text and "C1" in text and "S7" in text
+        text2 = render_figure2(runs)
+        assert "Figure 2" in text2
+
+    def test_table2_rendering(self, runs):
+        text = render_table2(runs)
+        assert "Complex" in text and "Star" in text
+
+    def test_speedup_table(self, runs):
+        ratios = speedup_table(runs, "PRoST", "SPARQLGX")
+        assert len(ratios) == 20
+        assert all(ratio > 0 for ratio in ratios.values())
+
+
+class TestBarChart:
+    def test_bar_chart_renders_all_queries(self, suite):
+        from repro.bench import render_bar_chart
+
+        runs = {
+            "PRoST": suite.run_system(suite.make_prost()),
+            "SPARQLGX": suite.run_system(suite.make_sparqlgx()),
+        }
+        chart = render_bar_chart(runs, "Figure 3 (bars)")
+        assert "C1" in chart and "S7" in chart
+        assert "█" in chart
+        assert "log-scaled" in chart
+
+    def test_bar_chart_linear_mode(self, suite):
+        from repro.bench import render_bar_chart
+
+        runs = {"PRoST": suite.run_system(suite.make_prost())}
+        chart = render_bar_chart(runs, "linear", logarithmic=False)
+        assert "log-scaled" not in chart
+
+    def test_bar_chart_handles_empty_runs(self):
+        from repro.bench import render_bar_chart
+        from repro.bench.harness import SystemRun
+        from repro.core.loader import LoadReport
+
+        empty = SystemRun(
+            system="X",
+            load_report=LoadReport("X", 0, 0, 0, 0.0, 0.0),
+        )
+        assert "(no data)" in render_bar_chart({"X": empty}, "empty")

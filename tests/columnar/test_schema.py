@@ -1,0 +1,85 @@
+"""Schema model tests: typing, lookup, selection, cell validation."""
+
+import pytest
+
+from repro.columnar import ColumnSchema, TableSchema, validate_value
+from repro.errors import SchemaError
+
+
+class TestColumnSchema:
+    def test_valid_types_accepted(self):
+        for type_name in ("string", "int", "double", "bool", "list<string>", "list<int>"):
+            ColumnSchema("c", type_name)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("c", "varchar")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("", "string")
+
+    def test_list_introspection(self):
+        column = ColumnSchema("c", "list<int>")
+        assert column.is_list
+        assert column.element_type == "int"
+        assert not ColumnSchema("c", "int").is_list
+
+
+class TestTableSchema:
+    def setup_method(self):
+        self.schema = TableSchema(
+            [ColumnSchema("a", "string"), ColumnSchema("b", "int")]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([ColumnSchema("a", "string"), ColumnSchema("a", "int")])
+
+    def test_lookup(self):
+        assert self.schema.column("b").type == "int"
+        assert self.schema.index_of("b") == 1
+        assert self.schema.has_column("a")
+        assert not self.schema.has_column("z")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self.schema.column("z")
+        with pytest.raises(SchemaError):
+            self.schema.index_of("z")
+
+    def test_select_reorders(self):
+        selected = self.schema.select(["b", "a"])
+        assert selected.names == ("b", "a")
+
+    def test_equality_and_hash(self):
+        same = TableSchema([ColumnSchema("a", "string"), ColumnSchema("b", "int")])
+        assert self.schema == same
+        assert hash(self.schema) == hash(same)
+
+
+class TestValidateValue:
+    def test_none_always_valid(self):
+        validate_value(ColumnSchema("c", "int"), None)
+
+    def test_scalar_type_checked(self):
+        validate_value(ColumnSchema("c", "int"), 5)
+        with pytest.raises(SchemaError):
+            validate_value(ColumnSchema("c", "int"), "5")
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            validate_value(ColumnSchema("c", "int"), True)
+
+    def test_double_accepts_int(self):
+        validate_value(ColumnSchema("c", "double"), 5)
+        validate_value(ColumnSchema("c", "double"), 5.5)
+
+    def test_list_elements_checked(self):
+        validate_value(ColumnSchema("c", "list<string>"), ["a"])
+        with pytest.raises(SchemaError):
+            validate_value(ColumnSchema("c", "list<string>"), [1])
+
+    def test_list_requires_sequence(self):
+        with pytest.raises(SchemaError):
+            validate_value(ColumnSchema("c", "list<string>"), "abc")

@@ -1,0 +1,89 @@
+"""PRoST COUNT/GROUP BY execution vs the reference evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProstEngine
+from repro.rdf import Graph, IRI, Literal, Triple
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+
+AGGREGATE_QUERIES = [
+    'SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <http://ex/knows> ?y } GROUP BY ?x',
+    'SELECT (COUNT(*) AS ?n) WHERE { ?x <http://ex/knows> ?y }',
+    'SELECT (COUNT(DISTINCT ?y) AS ?n) WHERE { ?x <http://ex/knows> ?y }',
+    # group over a join
+    'SELECT ?c (COUNT(?x) AS ?n) WHERE { ?x <http://ex/city> ?ci . '
+    '?ci <http://ex/country> ?c } GROUP BY ?c',
+    # counting an optional variable counts only bound solutions
+    'SELECT ?x (COUNT(?a) AS ?n) WHERE { ?x <http://ex/name> ?m . '
+    'OPTIONAL { ?x <http://ex/age> ?a } } GROUP BY ?x',
+    # empty input still yields the one global row with count 0
+    'SELECT (COUNT(*) AS ?n) WHERE { ?x <http://ex/missing> ?y }',
+    # filter applies before the aggregation
+    'SELECT (COUNT(?x) AS ?n) WHERE { ?x <http://ex/age> ?a . FILTER(?a > 26) }',
+    # group by two variables
+    'SELECT ?x ?t (COUNT(?y) AS ?n) WHERE { ?x <http://ex/knows> ?y . '
+    '?x <http://ex/tag> ?t } GROUP BY ?x ?t',
+]
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("query", AGGREGATE_QUERIES)
+    def test_mixed_matches_reference(self, prost_mixed, social_reference, query):
+        parsed = parse_sparql(query)
+        assert prost_mixed.sparql(parsed).rows == social_reference.evaluate(parsed)
+
+    @pytest.mark.parametrize("query", AGGREGATE_QUERIES)
+    def test_vp_matches_reference(self, prost_vp, social_reference, query):
+        parsed = parse_sparql(query)
+        assert prost_vp.sparql(parsed).rows == social_reference.evaluate(parsed)
+
+
+class TestSemantics:
+    def test_counts_are_integer_literals(self, prost_mixed):
+        rows = prost_mixed.sparql(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://ex/name> ?y }"
+        ).rows
+        count = rows[0][0]
+        assert isinstance(count, Literal)
+        assert count.to_python() == 4
+
+    def test_order_by_count_descending(self, prost_mixed):
+        rows = prost_mixed.sparql(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <http://ex/knows> ?y } "
+            "GROUP BY ?x ORDER BY DESC(?n)"
+        ).rows
+        counts = [row[1].to_python() for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_limit_after_grouping(self, prost_mixed):
+        rows = prost_mixed.sparql(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <http://ex/knows> ?y } "
+            "GROUP BY ?x LIMIT 2"
+        ).rows
+        assert len(rows) == 2
+
+
+_SUBJECTS = [IRI(f"http://r/s{i}") for i in range(5)]
+_PREDICATES = [IRI(f"http://r/p{i}") for i in range(3)]
+_triples = st.builds(
+    Triple,
+    st.sampled_from(_SUBJECTS),
+    st.sampled_from(_PREDICATES),
+    st.sampled_from(_SUBJECTS),
+)
+
+
+@given(st.lists(_triples, min_size=1, max_size=30), st.sampled_from([p.n3() for p in _PREDICATES]))
+@settings(max_examples=25, deadline=None)
+def test_property_grouped_count_matches_reference(triples, predicate):
+    graph = Graph(triples)
+    query = parse_sparql(
+        f"SELECT ?s (COUNT(?o) AS ?n) (COUNT(DISTINCT ?o) AS ?d) "
+        f"WHERE {{ ?s {predicate} ?o }} GROUP BY ?s"
+    )
+    engine = ProstEngine()
+    engine.load(graph)
+    assert engine.sparql(query).rows == ReferenceEvaluator(graph).evaluate(query)

@@ -1,0 +1,50 @@
+"""ASK query tests: parser form and existence-check execution."""
+
+import pytest
+
+from repro.errors import UnsupportedSparqlError
+from repro.sparql import parse_sparql
+
+
+class TestAskParsing:
+    def test_ask_form(self):
+        query = parse_sparql("ASK { ?s <http://ex/p> ?o }")
+        assert query.is_ask
+        assert query.limit == 1
+        assert query.variables == ()
+
+    def test_ask_with_where_keyword(self):
+        assert parse_sparql("ASK WHERE { ?s <http://ex/p> ?o }").is_ask
+
+    def test_ask_with_filter(self):
+        query = parse_sparql("ASK { ?s <http://ex/age> ?a . FILTER(?a > 5) }")
+        assert len(query.filters) == 1
+
+    def test_construct_still_unsupported(self):
+        with pytest.raises(UnsupportedSparqlError):
+            parse_sparql("CONSTRUCT { ?s <http://ex/p> ?o } WHERE { ?s <http://ex/p> ?o }")
+
+
+class TestAskExecution:
+    def test_true_when_pattern_matches(self, prost_mixed, social_reference):
+        query = parse_sparql('ASK { ?x <http://ex/name> "Alice" }')
+        assert prost_mixed.ask(query) is True
+        assert social_reference.ask(query) is True
+
+    def test_false_when_no_match(self, prost_mixed, social_reference):
+        query = parse_sparql('ASK { ?x <http://ex/name> "Nobody" }')
+        assert prost_mixed.ask(query) is False
+        assert social_reference.ask(query) is False
+
+    def test_ask_with_join(self, prost_mixed):
+        assert prost_mixed.ask(
+            "ASK { ?x <http://ex/knows> ?y . ?y <http://ex/knows> ?z }"
+        )
+
+    def test_ask_with_failing_filter(self, prost_mixed):
+        assert not prost_mixed.ask(
+            "ASK { ?x <http://ex/age> ?a . FILTER(?a > 1000) }"
+        )
+
+    def test_ask_works_on_select_too(self, prost_mixed):
+        assert prost_mixed.ask("SELECT ?x WHERE { ?x <http://ex/tag> ?t }")

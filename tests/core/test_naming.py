@@ -1,0 +1,47 @@
+"""Naming tests: local names, sanitization, collision handling."""
+
+from repro.core import assign_names, local_name, sanitize
+
+
+class TestLocalName:
+    def test_slash_segment(self):
+        assert local_name("http://ex/path/likes") == "likes"
+
+    def test_hash_fragment(self):
+        assert local_name("http://ex/onto#type") == "type"
+
+    def test_hash_beats_slash(self):
+        assert local_name("http://ex/a#b") == "b"
+
+    def test_no_separator_returns_input(self):
+        assert local_name("plain") == "plain"
+
+    def test_trailing_slash_stripped(self):
+        assert local_name("http://ex/a/") == "a"
+
+
+class TestSanitize:
+    def test_replaces_invalid_characters(self):
+        assert sanitize("a-b.c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize("1abc") == "p_1abc"
+
+    def test_empty_becomes_placeholder(self):
+        assert sanitize("") == "p"
+
+
+class TestAssignNames:
+    def test_unique_names_for_colliding_locals(self):
+        mapping = assign_names(["http://a/name", "http://b/name"])
+        assert len(set(mapping.values())) == 2
+        assert sorted(mapping.values()) == ["name", "name_2"]
+
+    def test_deterministic_across_input_order(self):
+        a = assign_names(["http://b/x", "http://a/x"])
+        b = assign_names(["http://a/x", "http://b/x"])
+        assert a == b
+
+    def test_reserved_names_avoided(self):
+        mapping = assign_names(["http://ex/s"], reserved={"s"})
+        assert mapping["http://ex/s"] != "s"

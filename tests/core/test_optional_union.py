@@ -1,0 +1,144 @@
+"""PRoST OPTIONAL / UNION execution vs the reference evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProstEngine
+from repro.errors import UnsupportedSparqlError
+from repro.rdf import Graph, IRI, Triple
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+
+OPTIONAL_QUERIES = [
+    # unmatched optionals leave the variable unbound
+    'SELECT ?x ?n ?a WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/age> ?a } }',
+    # two independent optionals apply sequentially
+    'SELECT ?x ?a ?c WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/age> ?a } OPTIONAL { ?x <http://ex/city> ?c } }',
+    # multi-pattern optional (a chain hanging off the required part)
+    'SELECT ?x ?co WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/city> ?ci . ?ci <http://ex/country> ?co } }',
+    # filter over an optional variable (unbound fails the comparison)
+    'SELECT ?x ?a WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/age> ?a } FILTER(?a > 26) }',
+    # optional over a multi-valued predicate multiplies matches
+    'SELECT ?x ?t WHERE { ?x <http://ex/name> ?n . '
+    'OPTIONAL { ?x <http://ex/tag> ?t } }',
+]
+
+UNION_QUERIES = [
+    'SELECT ?x WHERE { { ?x <http://ex/age> ?a } UNION { ?x <http://ex/city> ?c } }',
+    # disjoint variable sets: each branch pads the other's columns with NULL
+    'SELECT ?a ?c WHERE { { ?x <http://ex/age> ?a } UNION { ?y <http://ex/city> ?c } }',
+    'SELECT DISTINCT ?x WHERE { { ?x <http://ex/age> ?a } UNION '
+    '{ ?x <http://ex/tag> "x" } }',
+    # three branches with shared variables and a star branch
+    'SELECT ?x ?v WHERE { { ?x <http://ex/knows> ?v } UNION '
+    '{ ?x <http://ex/city> ?v } UNION { ?x <http://ex/tag> ?v } }',
+    'SELECT ?x WHERE { { ?x <http://ex/name> ?n . ?x <http://ex/age> ?a } UNION '
+    '{ ?x <http://ex/country> ?c } }',
+]
+
+
+class TestOptional:
+    @pytest.mark.parametrize("query", OPTIONAL_QUERIES)
+    def test_matches_reference(self, prost_mixed, social_reference, query):
+        parsed = parse_sparql(query)
+        assert prost_mixed.sparql(parsed).rows == social_reference.evaluate(parsed)
+
+    @pytest.mark.parametrize("query", OPTIONAL_QUERIES)
+    def test_vp_strategy_matches_reference(self, prost_vp, social_reference, query):
+        parsed = parse_sparql(query)
+        assert prost_vp.sparql(parsed).rows == social_reference.evaluate(parsed)
+
+    def test_unbound_cells_are_none(self, prost_mixed):
+        rows = prost_mixed.sparql(
+            'SELECT ?n ?a WHERE { ?x <http://ex/name> ?n . '
+            'OPTIONAL { ?x <http://ex/age> ?a } }'
+        ).rows
+        dave_row = [r for r in rows if r[0].lexical == "Dave"][0]
+        assert dave_row[1] is None
+
+    def test_disconnected_optional_rejected(self, prost_mixed):
+        with pytest.raises(UnsupportedSparqlError):
+            prost_mixed.sparql(
+                'SELECT ?x ?c WHERE { ?x <http://ex/name> ?n . '
+                'OPTIONAL { ?y <http://ex/country> ?c } }'
+            )
+
+    def test_explain_mentions_optional(self, prost_mixed):
+        text = prost_mixed.explain(OPTIONAL_QUERIES[0])
+        assert "OPTIONAL" in text
+
+
+class TestUnion:
+    @pytest.mark.parametrize("query", UNION_QUERIES)
+    def test_matches_reference(self, prost_mixed, social_reference, query):
+        parsed = parse_sparql(query)
+        assert prost_mixed.sparql(parsed).rows == social_reference.evaluate(parsed)
+
+    def test_union_is_a_bag(self, prost_mixed, social_reference):
+        """Duplicate solutions from different branches are kept."""
+        query = parse_sparql(
+            'SELECT ?x WHERE { { ?x <http://ex/age> ?a } UNION '
+            '{ ?x <http://ex/age> ?b } }'
+        )
+        rows = prost_mixed.sparql(query).rows
+        assert rows == social_reference.evaluate(query)
+        assert len(rows) == 6  # three subjects, twice
+
+    def test_explain_mentions_union(self, prost_mixed):
+        text = prost_mixed.explain(UNION_QUERIES[0])
+        assert "UNION" in text
+
+    def test_translate_rejects_union(self, prost_mixed):
+        from repro.errors import TranslationError
+
+        with pytest.raises(TranslationError):
+            prost_mixed.translate(UNION_QUERIES[0])
+
+
+# -- property-based -------------------------------------------------------------
+
+_SUBJECTS = [IRI(f"http://r/s{i}") for i in range(6)]
+_PREDICATES = [IRI(f"http://r/p{i}") for i in range(3)]
+_triples = st.builds(
+    Triple,
+    st.sampled_from(_SUBJECTS),
+    st.sampled_from(_PREDICATES),
+    st.sampled_from(_SUBJECTS),
+)
+
+
+@given(
+    st.lists(_triples, min_size=1, max_size=25),
+    st.sampled_from([p.n3() for p in _PREDICATES]),
+    st.sampled_from([p.n3() for p in _PREDICATES]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_optional_matches_reference(triples, required, optional):
+    graph = Graph(triples)
+    query = parse_sparql(
+        f"SELECT ?a ?b ?c WHERE {{ ?a {required} ?b . OPTIONAL {{ ?b {optional} ?c }} }}"
+    )
+    engine = ProstEngine()
+    engine.load(graph)
+    assert engine.sparql(query).rows == ReferenceEvaluator(graph).evaluate(query)
+
+
+@given(
+    st.lists(_triples, min_size=1, max_size=25),
+    st.sampled_from([p.n3() for p in _PREDICATES]),
+    st.sampled_from([p.n3() for p in _PREDICATES]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_union_matches_reference(triples, left, right):
+    graph = Graph(triples)
+    query = parse_sparql(
+        f"SELECT ?a ?b WHERE {{ {{ ?a {left} ?b }} UNION {{ ?a {right} ?b }} }}"
+    )
+    engine = ProstEngine()
+    engine.load(graph)
+    assert engine.sparql(query).rows == ReferenceEvaluator(graph).evaluate(query)

@@ -1,0 +1,191 @@
+"""Translator tests: grouping, priorities, tree shape, strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JoinTreeTranslator, PtNode, VpNode
+from repro.core.join_tree import ObjectPtNode
+from repro.errors import TranslationError
+from repro.rdf import Graph, collect_statistics
+from repro.sparql import parse_sparql
+
+NT = """
+<http://ex/a> <http://ex/likes> <http://ex/x> .
+<http://ex/a> <http://ex/likes> <http://ex/y> .
+<http://ex/b> <http://ex/likes> <http://ex/x> .
+<http://ex/c> <http://ex/likes> <http://ex/x> .
+<http://ex/a> <http://ex/name> "A" .
+<http://ex/b> <http://ex/name> "B" .
+<http://ex/x> <http://ex/title> "X" .
+<http://ex/y> <http://ex/title> "Y" .
+"""
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return collect_statistics(Graph.from_ntriples(NT))
+
+
+def translate(stats, query: str, **kwargs):
+    return JoinTreeTranslator(stats, **kwargs).translate(parse_sparql(query))
+
+
+class TestGrouping:
+    def test_star_becomes_single_pt_node(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> ?n }",
+        )
+        assert tree.num_nodes == 1
+        assert isinstance(tree.root, PtNode)
+        assert len(tree.root.patterns) == 2
+
+    def test_single_patterns_become_vp_nodes(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?o <http://ex/title> ?t }",
+        )
+        assert tree.num_nodes == 2
+        assert all(isinstance(node, VpNode) for node in tree.nodes)
+
+    def test_mixed_query_gets_both_kinds(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> ?n . "
+            "?o <http://ex/title> ?t }",
+        )
+        kinds = tree.node_kinds()
+        assert kinds == {"PT": 1, "VP": 1}
+
+    def test_vp_strategy_never_uses_pt(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> ?n }",
+            strategy="vp",
+        )
+        assert tree.num_nodes == 2
+        assert all(isinstance(node, VpNode) for node in tree.nodes)
+
+    def test_variable_predicate_stays_vp(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s ?p ?o . ?s <http://ex/name> ?n . "
+            "?s <http://ex/likes> ?l }",
+        )
+        kinds = tree.node_kinds()
+        assert kinds["VP"] == 1  # the ?p pattern cannot go to the PT
+        assert kinds["PT"] == 1
+
+    def test_every_pattern_covered_exactly_once(self, stats):
+        query = (
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> ?n . "
+            "?o <http://ex/title> ?t . ?x <http://ex/likes> ?o }"
+        )
+        parsed = parse_sparql(query)
+        tree = JoinTreeTranslator(stats).translate(parsed)
+        assert sorted(map(str, tree.patterns())) == sorted(map(str, parsed.patterns))
+
+
+class TestPriorities:
+    def test_constant_object_scores_highest(self, stats):
+        tree = translate(
+            stats,
+            'SELECT ?s ?o WHERE { ?s <http://ex/likes> ?o . ?o <http://ex/title> "X" }',
+        )
+        # The literal-constrained node must NOT be the root (it is pushed down).
+        assert isinstance(tree.root, VpNode)
+        assert not tree.root.pattern.has_constant_object
+        child = tree.root.children[0]
+        assert child.patterns[0].has_constant_object
+
+    def test_largest_predicate_is_root(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?o <http://ex/title> ?t }",
+        )
+        assert tree.root.patterns[0].predicate.value == "http://ex/likes"
+
+    def test_pt_node_with_literal_weighted_heavily(self, stats):
+        tree = translate(
+            stats,
+            'SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> "A" . '
+            "?o <http://ex/title> ?t }",
+        )
+        # PT node has a literal: it should sit below the VP title node.
+        assert isinstance(tree.root, VpNode)
+
+    def test_extended_statistics_star_estimate(self):
+        graph = Graph.from_ntriples(NT)
+        stats = collect_statistics(graph, level="extended")
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> ?n }",
+        )
+        # Exactly two subjects carry both predicates.
+        assert tree.root.priority == pytest.approx(-2.0)
+
+
+class TestTreeShape:
+    def test_connected_queries_have_no_cartesian(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?o <http://ex/title> ?t . "
+            "?x <http://ex/likes> ?o }",
+        )
+        # Every non-root node shares a variable with its parent.
+        for node in tree.nodes:
+            for child in node.children:
+                assert node.variables & child.variables
+
+    def test_join_count(self, stats):
+        tree = translate(
+            stats,
+            "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?o <http://ex/title> ?t }",
+        )
+        assert tree.num_joins == 1
+
+    def test_describe_renders(self, stats):
+        tree = translate(
+            stats, "SELECT ?s WHERE { ?s <http://ex/likes> ?o . ?s <http://ex/name> ?n }"
+        )
+        text = tree.describe()
+        assert "PT" in text and "likes" in text
+
+
+class TestObjectPtGrouping:
+    def test_shared_object_grouped_when_enabled(self, stats):
+        query = (
+            "SELECT ?o WHERE { ?a <http://ex/likes> ?o . ?b <http://ex/likes> ?o . "
+            "?o <http://ex/title> ?t }"
+        )
+        tree = translate(stats, query, use_object_property_table=True)
+        assert any(isinstance(node, ObjectPtNode) for node in tree.nodes)
+
+    def test_disabled_by_default(self, stats):
+        query = "SELECT ?o WHERE { ?a <http://ex/likes> ?o . ?b <http://ex/likes> ?o }"
+        tree = translate(stats, query)
+        assert all(isinstance(node, VpNode) for node in tree.nodes)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, stats):
+        with pytest.raises(TranslationError):
+            JoinTreeTranslator(stats, strategy="hyper")
+
+    def test_min_group_size_validated(self, stats):
+        with pytest.raises(TranslationError):
+            JoinTreeTranslator(stats, min_group_size=1)
+
+
+@given(st.integers(2, 5), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_property_tree_covers_all_patterns(star_size, seed):
+    """Any star query's tree covers each pattern exactly once."""
+    graph = Graph.from_ntriples(NT)
+    stats = collect_statistics(graph)
+    predicates = ["likes", "name", "title", "likes", "name"][:star_size]
+    body = " . ".join(f"?s <http://ex/{p}> ?o{i}" for i, p in enumerate(predicates))
+    parsed = parse_sparql(f"SELECT ?s WHERE {{ {body} }}")
+    tree = JoinTreeTranslator(stats).translate(parsed)
+    assert len(tree.patterns()) == len(parsed.patterns)

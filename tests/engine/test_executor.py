@@ -1,0 +1,200 @@
+"""Physical execution tests: every operator, join strategies, metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.columnar import ColumnSchema, TableSchema
+from repro.engine import ClusterConfig, EngineSession, SimulatedCluster, col, lit
+
+KV = TableSchema([ColumnSchema("k", "string"), ColumnSchema("v", "string")])
+
+
+def make_session(**config_overrides) -> EngineSession:
+    config = ClusterConfig(num_workers=3, **config_overrides)
+    return EngineSession(SimulatedCluster(config))
+
+
+def session_with_tables() -> EngineSession:
+    session = make_session()
+    session.register_rows(
+        "left", KV, [("a", "1"), ("b", "2"), ("c", "3"), ("a", "9")],
+        partition_columns=("k",),
+    )
+    session.register_rows(
+        "right",
+        TableSchema([ColumnSchema("k", "string"), ColumnSchema("w", "string")]),
+        [("a", "x"), ("b", "y"), ("d", "z")],
+        partition_columns=("k",),
+    )
+    return session
+
+
+class TestNarrowOperators:
+    def test_filter(self):
+        session = session_with_tables()
+        rows = session.table("left").filter(col("v") > lit("1")).collect()
+        assert sorted(rows) == [("a", "9"), ("b", "2"), ("c", "3")]
+
+    def test_project_with_expression(self):
+        session = session_with_tables()
+        rows = session.table("left").select("k", ("big", col("v") >= lit("2"))).collect()
+        assert ("b", True) in rows and ("a", False) in rows
+
+    def test_rename(self):
+        session = session_with_tables()
+        frame = session.table("left").rename({"k": "key"})
+        assert frame.columns == ("key", "v")
+
+    def test_explode_drops_empty_and_null(self):
+        session = make_session()
+        schema = TableSchema([ColumnSchema("k", "string"), ColumnSchema("xs", "list<string>")])
+        session.register_rows("t", schema, [("a", ["1", "2"]), ("b", []), ("c", None)])
+        rows = session.table("t").explode("xs", "x").collect()
+        assert sorted(rows) == [("a", "1"), ("a", "2")]
+
+
+class TestJoins:
+    def test_inner_join(self):
+        session = session_with_tables()
+        rows = session.table("left").join(session.table("right"), on=["k"]).collect()
+        assert sorted(rows) == [("a", "1", "x"), ("a", "9", "x"), ("b", "2", "y")]
+
+    def test_left_join_fills_nulls(self):
+        session = session_with_tables()
+        rows = session.table("left").join(session.table("right"), on=["k"], how="left").collect()
+        assert ("c", "3", None) in rows
+
+    def test_semi_join(self):
+        session = session_with_tables()
+        rows = session.table("left").join(session.table("right"), on=["k"], how="semi").collect()
+        assert sorted(rows) == [("a", "1"), ("a", "9"), ("b", "2")]
+
+    def test_anti_join(self):
+        session = session_with_tables()
+        rows = session.table("left").join(session.table("right"), on=["k"], how="anti").collect()
+        assert rows == [("c", "3")]
+
+    def test_cross_join(self):
+        session = session_with_tables()
+        left = session.table("left").select(("a", col("k")))
+        right = session.table("right").select(("b", col("k")))
+        rows = left.join(right, on=(), how="cross").collect()
+        assert len(rows) == 4 * 3
+
+    def test_null_keys_never_match(self):
+        session = make_session()
+        session.register_rows("l", KV, [(None, "1"), ("a", "2")])
+        session.register_rows(
+            "r", TableSchema([ColumnSchema("k", "string"), ColumnSchema("w", "string")]),
+            [(None, "x"), ("a", "y")],
+        )
+        rows = session.table("l").join(session.table("r"), on=["k"]).collect()
+        assert rows == [("a", "2", "y")]
+
+    def test_strategies_agree(self):
+        """Broadcast, shuffle, and colocated joins give identical results."""
+        base = session_with_tables()
+        expected = sorted(base.table("left").join(base.table("right"), on=["k"]).collect())
+        for hint in ("broadcast", "shuffle"):
+            session = session_with_tables()
+            got = session.table("left").join(session.table("right"), on=["k"], hint=hint)
+            assert sorted(got.collect()) == expected
+
+    def test_colocated_join_avoids_shuffle(self):
+        session = session_with_tables()
+        frame = session.table("left").join(
+            session.table("right"), on=["k"], hint="shuffle"
+        )
+        # Both tables are hash-partitioned on k at registration: the engine
+        # detects co-location even under a shuffle hint? No — the hint forces
+        # a shuffle only when sides are NOT already colocated; colocation is
+        # checked first.
+        _, report = frame.collect_with_report()
+        assert report.metrics.colocated_joins == 1
+        assert report.metrics.shuffle_bytes == 0
+
+    def test_broadcast_join_records_broadcast(self):
+        session = session_with_tables()
+        left = session.table("left").rename({"k": "a"})  # renaming kills partitioner? no: rename keeps
+        right = session.table("right").rename({"k": "a", "w": "b"})
+        # Force differing partition layouts by filtering one side first.
+        frame = left.filter(col("v") != lit("zzz")).join(right, on=["a"], hint="broadcast")
+        _, report = frame.collect_with_report()
+        assert report.metrics.broadcast_count >= 1
+
+
+class TestWideOperators:
+    def test_distinct(self):
+        session = make_session()
+        session.register_rows("t", KV, [("a", "1"), ("a", "1"), ("b", "2")])
+        assert sorted(session.table("t").distinct().collect()) == [("a", "1"), ("b", "2")]
+
+    def test_sort_and_limit(self):
+        session = make_session()
+        session.register_rows("t", KV, [("b", "2"), ("a", "1"), ("c", "3")])
+        rows = session.table("t").sort("k").limit(2).collect()
+        assert rows == [("a", "1"), ("b", "2")]
+
+    def test_sort_descending(self):
+        session = make_session()
+        session.register_rows("t", KV, [("b", "2"), ("a", "1")])
+        rows = session.table("t").sort(("k", True)).collect()
+        assert rows == [("b", "2"), ("a", "1")]
+
+    def test_sort_nulls_first(self):
+        session = make_session()
+        session.register_rows("t", KV, [("b", "2"), (None, "1")])
+        rows = session.table("t").sort("k").collect()
+        assert rows[0] == (None, "1")
+
+    def test_limit_offset(self):
+        session = make_session()
+        session.register_rows("t", KV, [("a", "1"), ("b", "2"), ("c", "3")])
+        rows = session.table("t").sort("k").limit(1, offset=1).collect()
+        assert rows == [("b", "2")]
+
+    def test_union(self):
+        session = make_session()
+        session.register_rows("t", KV, [("a", "1")])
+        session.register_rows("u", KV, [("b", "2")])
+        rows = session.table("t").union(session.table("u")).collect()
+        assert sorted(rows) == [("a", "1"), ("b", "2")]
+
+
+class TestMetrics:
+    def test_scan_bytes_reflect_column_pruning(self):
+        session = make_session()
+        wide = TableSchema([ColumnSchema(f"c{i}", "string") for i in range(6)])
+        rows = [tuple(f"row{r}col{i}" * 3 for i in range(6)) for r in range(50)]
+        session.register_rows("w", wide, rows, persist_path="/w")
+        _, full = session.table("w").collect_with_report()
+        _, pruned = session.table("w").select("c0").collect_with_report()
+        assert pruned.metrics.bytes_scanned < full.metrics.bytes_scanned
+
+    def test_shuffle_join_records_bytes(self):
+        session = make_session()
+        session.register_rows("l", KV, [(str(i), "x") for i in range(100)])
+        session.register_rows(
+            "r", TableSchema([ColumnSchema("k", "string"), ColumnSchema("w", "string")]),
+            [(str(i), "y") for i in range(100)],
+        )
+        frame = session.table("l").join(session.table("r"), on=["k"], hint="shuffle")
+        _, report = frame.collect_with_report()
+        assert report.metrics.shuffle_bytes > 0
+        assert report.metrics.shuffle_rows == 200
+
+    def test_cost_breakdown_positive(self):
+        session = session_with_tables()
+        _, report = session.table("left").collect_with_report()
+        assert report.cost.total_sec > 0
+        assert report.simulated_sec == report.cost.total_sec
+
+    def test_data_scale_multiplies_cost(self):
+        slow = make_session(data_scale=1000.0)
+        slow.register_rows("t", KV, [("a", "1")] * 50, persist_path="/t")
+        _, scaled = slow.table("t").collect_with_report()
+        fast = make_session()
+        fast.register_rows("t", KV, [("a", "1")] * 50, persist_path="/t")
+        _, unscaled = fast.table("t").collect_with_report()
+        assert scaled.cost.scan_sec > unscaled.cost.scan_sec * 100

@@ -1,0 +1,110 @@
+"""Expression tree tests: operators, NULL semantics, binding, describe."""
+
+import pytest
+
+from repro.columnar import ColumnSchema, TableSchema
+from repro.engine import col, lit
+from repro.engine.expressions import and_all
+from repro.errors import PlanError, SchemaError
+
+SCHEMA = TableSchema(
+    [
+        ColumnSchema("name", "string"),
+        ColumnSchema("age", "int"),
+        ColumnSchema("tags", "list<string>"),
+    ]
+)
+
+
+def run(expression, row):
+    return expression.bind(SCHEMA)(row)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert run(col("name") == lit("a"), ("a", 1, [])) is True
+        assert run(col("name") == lit("a"), ("b", 1, [])) is False
+
+    def test_ordering_operators(self):
+        assert run(col("age") > lit(5), ("a", 6, []))
+        assert run(col("age") >= lit(6), ("a", 6, []))
+        assert run(col("age") < lit(7), ("a", 6, []))
+        assert run(col("age") <= lit(6), ("a", 6, []))
+        assert run(col("age") != lit(5), ("a", 6, []))
+
+    def test_null_operand_is_false(self):
+        assert run(col("age") > lit(5), ("a", None, [])) is False
+        assert run(col("age") == lit(None), ("a", None, [])) is False
+
+    def test_type_mismatch_is_false(self):
+        assert run(col("name") > lit(5), ("a", 1, [])) is False
+
+    def test_column_to_column(self):
+        schema = TableSchema([ColumnSchema("a", "int"), ColumnSchema("b", "int")])
+        expr = col("a") == col("b")
+        assert expr.bind(schema)((3, 3))
+        assert not expr.bind(schema)((3, 4))
+
+
+class TestBooleanOps:
+    def test_and(self):
+        expr = (col("age") > lit(1)) & (col("name") == lit("a"))
+        assert run(expr, ("a", 2, []))
+        assert not run(expr, ("b", 2, []))
+
+    def test_or(self):
+        expr = (col("age") > lit(10)) | (col("name") == lit("a"))
+        assert run(expr, ("a", 2, []))
+        assert not run(expr, ("b", 2, []))
+
+    def test_not(self):
+        assert run(~(col("age") > lit(10)), ("a", 2, []))
+
+    def test_and_all_helper(self):
+        assert and_all([]) is None
+        single = col("age") > lit(1)
+        assert and_all([single]) is single
+        combined = and_all([single, col("name") == lit("a")])
+        assert combined.bind(SCHEMA)(("a", 2, []))
+
+
+class TestPredicates:
+    def test_is_not_null(self):
+        assert run(col("age").is_not_null(), ("a", 1, []))
+        assert not run(col("age").is_not_null(), ("a", None, []))
+
+    def test_is_null(self):
+        assert run(col("age").is_null(), ("a", None, []))
+
+    def test_array_contains(self):
+        expr = col("tags").contains_element(lit("x"))
+        assert run(expr, ("a", 1, ["x", "y"]))
+        assert not run(expr, ("a", 1, ["y"]))
+        assert not run(expr, ("a", 1, None))
+
+    def test_rlike(self):
+        expr = col("name").rlike("^a.c$")
+        assert run(expr, ("abc", 1, []))
+        assert not run(expr, ("xbc", 1, []))
+        assert not run(expr, (None, 1, []))
+
+
+class TestStructure:
+    def test_references_collected(self):
+        expr = (col("age") > lit(1)) & col("name").is_not_null()
+        assert expr.references() == {"age", "name"}
+
+    def test_binding_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            col("zzz").bind(SCHEMA)
+
+    def test_unknown_comparison_operator_rejected(self):
+        from repro.engine.expressions import BinaryComparison
+
+        with pytest.raises(PlanError):
+            BinaryComparison("<>", col("a"), lit(1))
+
+    def test_describe_is_readable(self):
+        expr = (col("age") > lit(18)) & col("tags").contains_element(lit("x"))
+        text = expr.describe()
+        assert "age" in text and ">" in text and "array_contains" in text

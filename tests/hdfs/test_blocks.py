@@ -1,0 +1,56 @@
+"""Block splitting and placement tests."""
+
+import pytest
+
+from repro.hdfs.blocks import Block, plan_placement, split_into_blocks
+
+
+class TestSplit:
+    def test_exact_multiple(self):
+        assert split_into_blocks(256, 128) == [128, 128]
+
+    def test_remainder_block(self):
+        assert split_into_blocks(300, 128) == [128, 128, 44]
+
+    def test_small_file_single_block(self):
+        assert split_into_blocks(5, 128) == [5]
+
+    def test_empty_file_gets_one_empty_block(self):
+        assert split_into_blocks(0, 128) == [0]
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(10, 0)
+        with pytest.raises(ValueError):
+            split_into_blocks(-1, 128)
+
+
+class TestPlacement:
+    def test_replicas_are_distinct_nodes(self):
+        replicas = plan_placement(block_id=0, num_datanodes=5, replication=3)
+        assert len(set(replicas)) == 3
+
+    def test_replication_capped_at_cluster_size(self):
+        replicas = plan_placement(block_id=0, num_datanodes=2, replication=3)
+        assert len(replicas) == 2
+
+    def test_preferred_node_is_primary(self):
+        replicas = plan_placement(block_id=9, num_datanodes=5, replication=2, preferred_node=3)
+        assert replicas[0] == 3
+
+    def test_placement_is_deterministic(self):
+        a = plan_placement(block_id=7, num_datanodes=4, replication=3)
+        b = plan_placement(block_id=7, num_datanodes=4, replication=3)
+        assert a == b
+
+    def test_different_blocks_spread_primaries(self):
+        primaries = {plan_placement(i, 4, 1)[0] for i in range(8)}
+        assert primaries == {0, 1, 2, 3}
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            plan_placement(0, 0, 1)
+
+    def test_block_primary_property(self):
+        block = Block(block_id=1, size=10, replicas=(2, 3))
+        assert block.primary_node == 2

@@ -1,0 +1,74 @@
+"""Datanode failure and re-replication tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hdfs import SimulatedHdfs
+
+
+def make_fs(**kwargs) -> SimulatedHdfs:
+    defaults = {"num_datanodes": 4, "block_size": 16, "replication": 2}
+    defaults.update(kwargs)
+    return SimulatedHdfs(**defaults)
+
+
+class TestFailNode:
+    def test_blocks_re_replicated_onto_survivors(self):
+        fs = make_fs()
+        fs.write("/a", b"x" * 64)
+        repaired = fs.fail_node(0)
+        assert repaired >= 1
+        for replicas in fs.block_locations("/a"):
+            assert 0 not in replicas
+            assert len(replicas) == 2
+
+    def test_data_still_readable_after_failure(self):
+        fs = make_fs()
+        payload = b"y" * 100
+        fs.write("/a", payload)
+        fs.fail_node(1)
+        assert fs.read("/a") == payload
+
+    def test_replication_factor_restored(self):
+        fs = make_fs(num_datanodes=5, replication=3)
+        fs.write("/a", b"z" * 80)
+        fs.fail_node(2)
+        for replicas in fs.block_locations("/a"):
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_failed_and_live_node_accounting(self):
+        fs = make_fs()
+        fs.fail_node(3)
+        assert fs.failed_nodes == {3}
+        assert fs.live_nodes == 3
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs().fail_node(99)
+
+    def test_replication_one_loses_data(self):
+        fs = make_fs(replication=1)
+        fs.write("/a", b"q" * 64)
+        # Some block lives only on one node; failing every node one by one
+        # must eventually raise a data-loss error.
+        with pytest.raises(StorageError):
+            for node in range(fs.num_datanodes):
+                fs.fail_node(node)
+
+    def test_writes_after_failure_avoid_dead_node(self):
+        fs = make_fs()
+        fs.fail_node(0)
+        fs.write("/b", b"w" * 64)
+        for replicas in fs.block_locations("/b"):
+            assert 0 not in replicas
+
+    def test_cascading_failures_keep_data_alive(self):
+        fs = make_fs(num_datanodes=5, replication=3)
+        payload = b"p" * 200
+        fs.write("/a", payload)
+        fs.fail_node(0)
+        fs.fail_node(1)
+        assert fs.read("/a") == payload
+        for replicas in fs.block_locations("/a"):
+            assert not set(replicas) & {0, 1}

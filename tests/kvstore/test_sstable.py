@@ -1,0 +1,85 @@
+"""Sorted-run tests: ordering, range scans, merging, prefix bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import SortedRun, merge_runs, prefix_upper_bound
+
+
+class TestSortedRun:
+    def test_iterates_in_key_order(self):
+        run = SortedRun([("b", "2"), ("a", "1"), ("c", "3")])
+        assert [k for k, _ in run] == ["a", "b", "c"]
+
+    def test_get(self):
+        run = SortedRun([("a", "1"), ("b", "2")])
+        assert run.get("a") == "1"
+        assert run.get("zz") is None
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            SortedRun([("a", "1"), ("a", "2")])
+
+    def test_scan_bounds_inclusive_exclusive(self):
+        run = SortedRun([(k, k) for k in "abcde"])
+        assert [k for k, _ in run.scan("b", "d")] == ["b", "c"]
+
+    def test_scan_open_ended(self):
+        run = SortedRun([(k, k) for k in "abc"])
+        assert [k for k, _ in run.scan()] == ["a", "b", "c"]
+        assert [k for k, _ in run.scan(start="b")] == ["b", "c"]
+        assert [k for k, _ in run.scan(stop="b")] == ["a"]
+
+    def test_first_last_keys(self):
+        run = SortedRun([("m", ""), ("a", ""), ("z", "")])
+        assert run.first_key == "a"
+        assert run.last_key == "z"
+        assert SortedRun([]).first_key is None
+
+
+class TestMerge:
+    def test_later_runs_win(self):
+        merged = merge_runs(
+            [SortedRun([("a", "old"), ("b", "1")]), SortedRun([("a", "new")])]
+        )
+        assert merged.get("a") == "new"
+        assert merged.get("b") == "1"
+
+    def test_merged_is_sorted(self):
+        merged = merge_runs([SortedRun([("c", "")]), SortedRun([("a", "")])])
+        assert [k for k, _ in merged] == ["a", "c"]
+
+
+class TestPrefixUpperBound:
+    def test_simple_increment(self):
+        assert prefix_upper_bound("abc") == "abd"
+
+    def test_bound_covers_all_prefixed_strings(self):
+        bound = prefix_upper_bound("ab")
+        assert "ab" < bound
+        assert "abzzz" < bound
+        assert "ac" >= bound
+
+    def test_max_codepoint_carries(self):
+        bound = prefix_upper_bound("a" + chr(0x10FFFF))
+        assert bound == "b"
+
+    def test_all_max_returns_none(self):
+        assert prefix_upper_bound(chr(0x10FFFF)) is None
+
+
+@given(st.dictionaries(st.text(max_size=8), st.text(max_size=8), max_size=30),
+       st.text(max_size=4), st.text(max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_property_scan_matches_naive_filter(items, start, stop):
+    """A range scan equals sorting + filtering the raw items."""
+    run = SortedRun(items.items())
+    low = start or None
+    high = stop or None
+    expected = sorted(
+        (k, v)
+        for k, v in items.items()
+        if (low is None or k >= low) and (high is None or k < high)
+    )
+    assert list(run.scan(low, high)) == expected

@@ -1,0 +1,135 @@
+"""Key-value store tests: tables, scans, flush/compact, tablets, metrics."""
+
+import pytest
+
+from repro.kvstore import SortedKeyValueStore
+
+
+def make_store(**kwargs) -> SortedKeyValueStore:
+    store = SortedKeyValueStore(num_tablet_servers=3, **kwargs)
+    store.create_table("t")
+    return store
+
+
+class TestTables:
+    def test_create_and_query_tables(self):
+        store = make_store()
+        assert store.has_table("t")
+        assert store.table_names() == ["t"]
+
+    def test_duplicate_table_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.create_table("t")
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            make_store().get("nope", "k")
+
+    def test_invalid_server_count_rejected(self):
+        with pytest.raises(ValueError):
+            SortedKeyValueStore(num_tablet_servers=0)
+
+
+class TestReadsAndWrites:
+    def test_put_get(self):
+        store = make_store()
+        store.put("t", "k", "v")
+        assert store.get("t", "k") == "v"
+        assert store.get("t", "missing") is None
+
+    def test_overwrite_wins(self):
+        store = make_store()
+        store.put("t", "k", "v1")
+        store.flush("t")
+        store.put("t", "k", "v2")
+        assert store.get("t", "k") == "v2"
+
+    def test_scan_merges_memtable_and_runs(self):
+        store = make_store()
+        store.put("t", "b", "1")
+        store.flush("t")
+        store.put("t", "a", "2")
+        assert list(store.scan("t")) == [("a", "2"), ("b", "1")]
+
+    def test_scan_range(self):
+        store = make_store()
+        store.batch_put("t", [(k, k) for k in "abcdef"])
+        assert [k for k, _ in store.scan("t", "b", "e")] == ["b", "c", "d"]
+
+    def test_prefix_scan(self):
+        store = make_store()
+        store.batch_put("t", [("ab1", ""), ("ab2", ""), ("ac3", "")])
+        assert [k for k, _ in store.prefix_scan("t", "ab")] == ["ab1", "ab2"]
+
+    def test_automatic_flush_at_limit(self):
+        store = SortedKeyValueStore(num_tablet_servers=2, memtable_limit=3)
+        store.create_table("t")
+        store.batch_put("t", [(str(i), "") for i in range(7)])
+        assert store.table_size("t") == 7
+        assert list(store.scan("t"))  # still scannable after flushes
+
+    def test_compact_single_run(self):
+        store = make_store()
+        for i in range(5):
+            store.put("t", f"k{i}", "")
+            store.flush("t")
+        store.compact("t")
+        assert store.table_size("t") == 5
+        assert [k for k, _ in store.scan("t")] == [f"k{i}" for i in range(5)]
+
+
+class TestTablets:
+    def test_tablets_cover_keyspace(self):
+        store = make_store()
+        store.batch_put("t", [(f"k{i:03d}", "") for i in range(30)])
+        store.flush("t")
+        tablets = store.tablets("t")
+        assert tablets[0].start is None
+        assert tablets[-1].stop is None
+        for left, right in zip(tablets, tablets[1:]):
+            assert left.stop == right.start
+
+    def test_server_for_key(self):
+        store = make_store()
+        store.batch_put("t", [(f"k{i:03d}", "") for i in range(30)])
+        assert 0 <= store.server_for_key("t", "k000") < 3
+        assert 0 <= store.server_for_key("t", "zzz") < 3
+
+    def test_empty_table_single_tablet(self):
+        tablets = make_store().tablets("t")
+        assert len(tablets) == 1
+
+
+class TestMetrics:
+    def test_scan_counts_entries_and_seeks(self):
+        store = make_store()
+        store.batch_put("t", [(k, "") for k in "abc"])
+        store.flush("t")
+        store.metrics.reset()
+        list(store.scan("t"))
+        assert store.metrics.entries_read == 3
+        assert store.metrics.seeks >= 1
+        assert store.metrics.scans == 1
+
+    def test_get_counts_seek(self):
+        store = make_store()
+        store.put("t", "k", "v")
+        store.metrics.reset()
+        store.get("t", "k")
+        assert store.metrics.seeks == 1
+
+
+class TestStorageAccounting:
+    def test_sorted_runs_compress_shared_prefixes(self):
+        store = make_store()
+        items = [(f"http://very/long/shared/prefix/{i:05d}", "") for i in range(200)]
+        store.batch_put("t", items)
+        raw = sum(len(k) for k, _ in items)
+        store.flush("t")
+        assert store.stored_bytes("t") < raw / 3
+
+    def test_memtable_counted_uncompressed(self):
+        store = make_store()
+        store.put("t", "abcdef", "xy")
+        assert store.stored_bytes("t") == 8

@@ -1,0 +1,128 @@
+"""N-Triples parser/serializer tests, including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RdfSyntaxError
+from repro.rdf.ntriples import (
+    parse_line,
+    parse_ntriples_string,
+    parse_term,
+    serialize_ntriples,
+)
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        triple = parse_line("<http://ex/s> <http://ex/p> <http://ex/o> .")
+        assert triple == Triple(IRI("http://ex/s"), IRI("http://ex/p"), IRI("http://ex/o"))
+
+    def test_literal_object(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "hi" .')
+        assert triple.object == Literal("hi")
+
+    def test_typed_literal(self):
+        triple = parse_line(
+            '<http://ex/s> <http://ex/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert triple.object.datatype.endswith("integer")
+
+    def test_language_tagged_literal(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "hallo"@de-DE .')
+        assert triple.object.language == "de-DE"
+
+    def test_blank_nodes(self):
+        triple = parse_line("_:a <http://ex/p> _:b .")
+        assert triple.subject == BlankNode("a")
+        assert triple.object == BlankNode("b")
+
+    def test_comment_line_is_skipped(self):
+        assert parse_line("# a comment") is None
+
+    def test_blank_line_is_skipped(self):
+        assert parse_line("   ") is None
+
+    def test_trailing_comment_allowed(self):
+        triple = parse_line("<http://ex/s> <http://ex/p> <http://ex/o> . # note")
+        assert triple is not None
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_line("<http://ex/s> <http://ex/p> <http://ex/o>")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_line('"s" <http://ex/p> <http://ex/o> .')
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_line('<http://ex/s> "p" <http://ex/o> .')
+
+    def test_blank_node_predicate_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_line("<http://ex/s> _:p <http://ex/o> .")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(RdfSyntaxError) as excinfo:
+            list(parse_ntriples_string("<http://ex/s> <http://ex/p> bad ."))
+        assert "line 1" in str(excinfo.value)
+
+    def test_escaped_quotes_in_literal(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "say \\"hi\\"" .')
+        assert triple.object.lexical == 'say "hi"'
+
+
+class TestParseTerm:
+    def test_iri(self):
+        assert parse_term("<http://ex/a>") == IRI("http://ex/a")
+
+    def test_literal_with_datatype(self):
+        term = parse_term('"5"^^<http://www.w3.org/2001/XMLSchema#integer>')
+        assert isinstance(term, Literal)
+        assert term.to_python() == 5
+
+    def test_bnode(self):
+        assert parse_term("_:x") == BlankNode("x")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_term("<http://ex/a> junk")
+
+
+class TestRoundTrip:
+    def test_document_round_trip(self):
+        document = (
+            '<http://ex/s> <http://ex/p> "a\\nb" .\n'
+            "<http://ex/s> <http://ex/q> _:b1 .\n"
+        )
+        triples = parse_ntriples_string(document)
+        assert serialize_ntriples(triples) == document
+
+
+_iris = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=12
+).map(lambda s: IRI("http://ex/" + s))
+_literals = st.builds(
+    Literal,
+    st.text(max_size=20),
+    datatype=st.none() | st.just("http://www.w3.org/2001/XMLSchema#integer"),
+)
+_bnodes = st.from_regex(r"[A-Za-z0-9][A-Za-z0-9_]{0,8}", fullmatch=True).map(BlankNode)
+_subjects = _iris | _bnodes
+_objects = _iris | _bnodes | _literals
+
+
+@given(st.lists(st.builds(Triple, _subjects, _iris, _objects), max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_property_serialization_round_trips(triples):
+    """serialize → parse is the identity on any list of triples."""
+    assert parse_ntriples_string(serialize_ntriples(triples)) == triples
+
+
+@given(_objects)
+@settings(max_examples=100, deadline=None)
+def test_property_term_round_trips(term):
+    """n3 → parse_term is the identity on any single term."""
+    assert parse_term(term.n3()) == term

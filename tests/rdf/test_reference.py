@@ -1,0 +1,136 @@
+"""Reference evaluator tests: BGP matching, filters, solution modifiers."""
+
+from repro.rdf import IRI, Literal
+from repro.rdf.reference import ReferenceEvaluator
+from repro.sparql import parse_sparql
+
+
+def evaluate(graph_evaluator, query: str):
+    return graph_evaluator.evaluate(parse_sparql(query))
+
+
+class TestBgpMatching:
+    def test_single_pattern(self, social_reference):
+        rows = evaluate(
+            social_reference, "SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }"
+        )
+        assert rows == [(Literal("Alice"),)]
+
+    def test_chain_join(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?x ?c WHERE { ?x <http://ex/city> ?ci . ?ci <http://ex/country> ?c }",
+        )
+        assert (IRI("http://ex/alice"), IRI("http://ex/germany")) in rows
+        assert len(rows) == 3
+
+    def test_star_join(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            'SELECT ?x WHERE { ?x <http://ex/tag> "x" . ?x <http://ex/age> ?a }',
+        )
+        assert {row[0] for row in rows} == {IRI("http://ex/alice"), IRI("http://ex/bob")}
+
+    def test_variable_predicate(self, social_reference):
+        rows = evaluate(
+            social_reference, "SELECT ?p WHERE { <http://ex/berlin> ?p ?o }"
+        )
+        assert rows == [(IRI("http://ex/country"),)]
+
+    def test_repeated_variable_in_pattern(self, social_reference):
+        rows = evaluate(social_reference, "SELECT ?x WHERE { ?x <http://ex/knows> ?x }")
+        assert rows == []
+
+    def test_no_match_returns_empty(self, social_reference):
+        rows = evaluate(
+            social_reference, "SELECT ?x WHERE { ?x <http://ex/missing> ?y }"
+        )
+        assert rows == []
+
+    def test_cartesian_when_disconnected(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?a ?b WHERE { ?a <http://ex/country> ?x . ?b <http://ex/country> ?y }",
+        )
+        assert len(rows) == 4  # 2 cities × 2 cities
+
+
+class TestFilters:
+    def test_numeric_comparison(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?x WHERE { ?x <http://ex/age> ?a . FILTER(?a >= 30) }",
+        )
+        assert {row[0] for row in rows} == {IRI("http://ex/alice"), IRI("http://ex/carol")}
+
+    def test_string_inequality(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            'SELECT ?n WHERE { ?x <http://ex/name> ?n . FILTER(?n != "Bob") }',
+        )
+        assert Literal("Bob") not in {row[0] for row in rows}
+        assert len(rows) == 3
+
+    def test_regex(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            'SELECT ?n WHERE { ?x <http://ex/name> ?n . FILTER regex(?n, "^[AC]") }',
+        )
+        assert {row[0].lexical for row in rows} == {"Alice", "Carol"}
+
+    def test_conjunction_and_disjunction(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?x WHERE { ?x <http://ex/age> ?a . FILTER(?a > 20 && ?a < 31) }",
+        )
+        assert len(rows) == 2
+        rows = evaluate(
+            social_reference,
+            "SELECT ?x WHERE { ?x <http://ex/age> ?a . FILTER(?a = 25 || ?a = 35) }",
+        )
+        assert len(rows) == 2
+
+    def test_iri_equality_filter(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?x WHERE { ?x <http://ex/city> ?c . FILTER(?c = <http://ex/paris>) }",
+        )
+        assert rows == [(IRI("http://ex/carol"),)]
+
+    def test_uncomparable_pair_eliminates_solution(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?x WHERE { ?x <http://ex/city> ?c . FILTER(?c > 5) }",
+        )
+        assert rows == []
+
+
+class TestModifiers:
+    def test_distinct(self, social_reference):
+        plain = evaluate(social_reference, "SELECT ?y WHERE { ?x <http://ex/knows> ?y }")
+        distinct = evaluate(
+            social_reference, "SELECT DISTINCT ?y WHERE { ?x <http://ex/knows> ?y }"
+        )
+        assert len(plain) == 4
+        assert len(distinct) == 3
+
+    def test_order_by_descending(self, social_reference):
+        rows = evaluate(
+            social_reference,
+            "SELECT ?n WHERE { ?x <http://ex/name> ?n } ORDER BY DESC(?n)",
+        )
+        names = [row[0].lexical for row in rows]
+        assert names == sorted(names, reverse=True)
+
+    def test_limit_offset(self, social_reference):
+        all_rows = evaluate(social_reference, "SELECT ?n WHERE { ?x <http://ex/name> ?n }")
+        sliced = evaluate(
+            social_reference,
+            "SELECT ?n WHERE { ?x <http://ex/name> ?n } LIMIT 2 OFFSET 1",
+        )
+        assert sliced == all_rows[1:3]
+
+    def test_count_helper(self, social_reference):
+        assert social_reference.count(
+            parse_sparql("SELECT ?x WHERE { ?x <http://ex/name> ?n }")
+        ) == 4

@@ -1,0 +1,118 @@
+"""Unit tests for RDF terms: construction, serialization, ordering."""
+
+import pytest
+
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Triple,
+    escape_literal,
+    term_sort_key,
+    unescape_literal,
+)
+
+
+class TestIri:
+    def test_n3_wraps_in_angle_brackets(self):
+        assert IRI("http://ex/a").n3() == "<http://ex/a>"
+
+    def test_str_is_raw_value(self):
+        assert str(IRI("http://ex/a")) == "http://ex/a"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://ex/a") == IRI("http://ex/a")
+        assert hash(IRI("http://ex/a")) == hash(IRI("http://ex/a"))
+        assert IRI("http://ex/a") != IRI("http://ex/b")
+
+
+class TestBlankNode:
+    def test_n3(self):
+        assert BlankNode("b0").n3() == "_:b0"
+
+    def test_str(self):
+        assert str(BlankNode("b0")) == "_:b0"
+
+
+class TestLiteral:
+    def test_plain_literal_n3(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_language_tag_n3(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_datatype_n3(self):
+        lit = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert lit.n3() == '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_xsd_string_datatype_is_implicit(self):
+        lit = Literal("hi", datatype="http://www.w3.org/2001/XMLSchema#string")
+        assert lit.n3() == '"hi"'
+
+    def test_language_and_datatype_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("hi", datatype="http://ex/dt", language="en")
+
+    def test_escapes_in_n3(self):
+        assert Literal('a"b\nc\\d').n3() == '"a\\"b\\nc\\\\d"'
+
+    def test_to_python_integer(self):
+        lit = Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert lit.to_python() == 42
+
+    def test_to_python_decimal(self):
+        lit = Literal("4.5", datatype="http://www.w3.org/2001/XMLSchema#decimal")
+        assert lit.to_python() == 4.5
+
+    def test_to_python_boolean(self):
+        lit = Literal("true", datatype="http://www.w3.org/2001/XMLSchema#boolean")
+        assert lit.to_python() is True
+        lit = Literal("false", datatype="http://www.w3.org/2001/XMLSchema#boolean")
+        assert lit.to_python() is False
+
+    def test_to_python_bad_lexical_falls_back(self):
+        lit = Literal("zap", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert lit.to_python() == "zap"
+
+    def test_to_python_plain(self):
+        assert Literal("hi").to_python() == "hi"
+
+
+class TestEscaping:
+    def test_round_trip_common_escapes(self):
+        raw = 'tab\t newline\n quote" backslash\\ cr\r'
+        assert unescape_literal(escape_literal(raw)) == raw
+
+    def test_unicode_escapes(self):
+        assert unescape_literal("\\u0041") == "A"
+        assert unescape_literal("\\U0001F600") == "\U0001f600"
+
+    def test_dangling_backslash_rejected(self):
+        with pytest.raises(ValueError):
+            unescape_literal("abc\\")
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ValueError):
+            unescape_literal("\\q")
+
+
+class TestTriple:
+    def test_n3_line(self):
+        triple = Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("o"))
+        assert triple.n3() == '<http://ex/s> <http://ex/p> "o" .'
+
+    def test_unpacking(self):
+        triple = Triple(IRI("http://ex/s"), IRI("http://ex/p"), IRI("http://ex/o"))
+        s, p, o = triple
+        assert (s, p, o) == (triple.subject, triple.predicate, triple.object)
+
+
+class TestSortKey:
+    def test_kind_ordering_iri_bnode_literal(self):
+        iri = term_sort_key(IRI("http://ex/a"))
+        bnode = term_sort_key(BlankNode("b"))
+        literal = term_sort_key(Literal("a"))
+        assert iri < bnode < literal
+
+    def test_within_kind_sorts_by_value(self):
+        assert term_sort_key(IRI("http://ex/a")) < term_sort_key(IRI("http://ex/b"))

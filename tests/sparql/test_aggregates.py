@@ -1,0 +1,88 @@
+"""Parser tests for COUNT aggregates and GROUP BY."""
+
+import pytest
+
+from repro.errors import SparqlSyntaxError
+from repro.sparql import Variable, parse_sparql
+
+
+class TestAggregateParsing:
+    def test_count_variable_with_group_by(self):
+        query = parse_sparql(
+            "SELECT ?g (COUNT(?x) AS ?n) WHERE { ?x <http://ex/p> ?g } GROUP BY ?g"
+        )
+        assert query.is_aggregate
+        aggregate = query.aggregates[0]
+        assert aggregate.variable == Variable("x")
+        assert aggregate.alias == Variable("n")
+        assert not aggregate.distinct
+        assert query.group_by == (Variable("g"),)
+
+    def test_count_star(self):
+        query = parse_sparql("SELECT (COUNT(*) AS ?n) WHERE { ?x <http://ex/p> ?g }")
+        assert query.aggregates[0].variable is None
+
+    def test_count_distinct(self):
+        query = parse_sparql(
+            "SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE { ?x <http://ex/p> ?g }"
+        )
+        assert query.aggregates[0].distinct
+
+    def test_projection_appends_alias(self):
+        query = parse_sparql(
+            "SELECT ?g (COUNT(?x) AS ?n) WHERE { ?x <http://ex/p> ?g } GROUP BY ?g"
+        )
+        assert query.projection == (Variable("g"), Variable("n"))
+
+    def test_multiple_aggregates(self):
+        query = parse_sparql(
+            "SELECT (COUNT(?x) AS ?a) (COUNT(DISTINCT ?x) AS ?b) "
+            "WHERE { ?x <http://ex/p> ?g }"
+        )
+        assert len(query.aggregates) == 2
+
+    def test_str_rendering(self):
+        query = parse_sparql(
+            "SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE { ?x <http://ex/p> ?g }"
+        )
+        assert str(query.aggregates[0]) == "(COUNT(DISTINCT ?x) AS ?n)"
+
+
+class TestAggregateValidation:
+    def test_plain_variable_requires_group_by(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(
+                "SELECT ?g (COUNT(?x) AS ?n) WHERE { ?x <http://ex/p> ?g }"
+            )
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?g WHERE { ?x <http://ex/p> ?g } GROUP BY ?g")
+
+    def test_group_by_unknown_variable_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(
+                "SELECT (COUNT(?x) AS ?n) WHERE { ?x <http://ex/p> ?g } GROUP BY ?zzz"
+            )
+
+    def test_alias_clash_with_pattern_variable_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT (COUNT(?x) AS ?g) WHERE { ?x <http://ex/p> ?g }")
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(
+                "SELECT (COUNT(?x) AS ?n) (COUNT(?g) AS ?n) "
+                "WHERE { ?x <http://ex/p> ?g }"
+            )
+
+    def test_counting_unknown_variable_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT (COUNT(?zzz) AS ?n) WHERE { ?x <http://ex/p> ?g }")
+
+    def test_order_by_alias_allowed(self):
+        query = parse_sparql(
+            "SELECT ?g (COUNT(?x) AS ?n) WHERE { ?x <http://ex/p> ?g } "
+            "GROUP BY ?g ORDER BY DESC(?n)"
+        )
+        assert query.order_by[0].variable == Variable("n")

@@ -1,0 +1,115 @@
+"""Query-shape analysis tests, including the WatDiv basic set's classes."""
+
+import pytest
+
+from repro.sparql import parse_sparql
+from repro.sparql.analysis import analyze_bgp, analyze_query
+
+
+def shape_of(query: str) -> str:
+    return analyze_query(parse_sparql(query)).shape
+
+
+class TestShapes:
+    def test_single_pattern_is_linear(self):
+        assert shape_of("SELECT ?s WHERE { ?s <http://ex/p> ?o }") == "linear"
+
+    def test_pure_star(self):
+        assert shape_of(
+            "SELECT ?s WHERE { ?s <http://ex/a> ?x . ?s <http://ex/b> ?y . "
+            "?s <http://ex/c> ?z }"
+        ) == "star"
+
+    def test_chain_is_linear(self):
+        assert shape_of(
+            "SELECT ?a WHERE { ?a <http://ex/p> ?b . ?b <http://ex/q> ?c . "
+            "?c <http://ex/r> ?d }"
+        ) == "linear"
+
+    def test_star_plus_chain_is_snowflake(self):
+        assert shape_of(
+            "SELECT ?s WHERE { ?s <http://ex/a> ?x . ?s <http://ex/b> ?y . "
+            "?y <http://ex/c> ?z }"
+        ) == "snowflake"
+
+    def test_two_stars_joined_is_snowflake(self):
+        assert shape_of(
+            "SELECT ?s WHERE { ?s <http://ex/a> ?x . ?s <http://ex/b> ?m . "
+            "?m <http://ex/c> ?y . ?m <http://ex/d> ?z }"
+        ) == "snowflake"
+
+    def test_cycle_is_complex(self):
+        assert shape_of(
+            "SELECT ?a WHERE { ?a <http://ex/p> ?b . ?b <http://ex/q> ?c . "
+            "?c <http://ex/r> ?a }"
+        ) == "complex"
+
+    def test_disconnected_is_complex(self):
+        assert shape_of(
+            "SELECT ?a ?c WHERE { ?a <http://ex/p> ?b . ?c <http://ex/q> ?d }"
+        ) == "complex"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_bgp([])
+
+
+class TestAnalysisFacts:
+    def test_join_variables(self):
+        analysis = analyze_query(
+            parse_sparql("SELECT ?a WHERE { ?a <http://ex/p> ?b . ?b <http://ex/q> ?c }")
+        )
+        assert {v.name for v in analysis.join_variables} == {"b"}
+
+    def test_subject_star_sizes(self):
+        analysis = analyze_query(
+            parse_sparql(
+                "SELECT ?s WHERE { ?s <http://ex/a> ?x . ?s <http://ex/b> ?y . "
+                "?y <http://ex/c> ?z }"
+            )
+        )
+        sizes = {v.name: n for v, n in analysis.subject_stars.items()}
+        assert sizes == {"s": 2}
+
+    def test_constants_connect_patterns(self):
+        analysis = analyze_query(
+            parse_sparql(
+                "SELECT ?a ?b WHERE { ?a <http://ex/p> <http://ex/x> . "
+                "?b <http://ex/q> <http://ex/x> }"
+            )
+        )
+        assert analysis.is_connected
+
+
+class TestWatDivQueryClasses:
+    """The generated basic query set lands in its intended shape classes."""
+
+    @pytest.fixture(scope="class")
+    def analyses(self):
+        from repro.watdiv import basic_query_set, generate_watdiv
+
+        dataset = generate_watdiv(scale=30, seed=2)
+        return {
+            q.name: analyze_query(parse_sparql(q.text))
+            for q in basic_query_set(dataset)
+        }
+
+    def test_star_queries_are_stars_or_near(self, analyses):
+        for name in ("S2", "S3", "S5", "S6"):
+            assert analyses[name].shape == "star", name
+
+    def test_linear_queries_are_short_and_shallow(self, analyses):
+        # WatDiv's L templates are short paths; structurally L3/L4 are tiny
+        # 2-pattern subject stars and L1/L2/L5 are star+edge snowflakes.
+        for name in ("L1", "L2", "L3", "L4", "L5"):
+            analysis = analyses[name]
+            assert analysis.num_patterns <= 3, name
+            assert analysis.shape in ("linear", "star", "snowflake"), name
+
+    def test_snowflake_queries_have_stars(self, analyses):
+        for name in ("F2", "F3", "F5"):
+            assert analyses[name].subject_stars, name
+
+    def test_complex_queries_are_dense(self, analyses):
+        assert analyses["C2"].num_patterns == 10
+        assert len(analyses["C1"].join_variables) >= 2

@@ -1,0 +1,86 @@
+"""Parser tests for the OPTIONAL / UNION extensions."""
+
+import pytest
+
+from repro.errors import SparqlSyntaxError
+from repro.sparql import Variable, parse_sparql
+
+
+class TestOptionalParsing:
+    def test_single_optional_group(self):
+        query = parse_sparql(
+            "SELECT ?s ?z WHERE { ?s <http://ex/p> ?o . "
+            "OPTIONAL { ?s <http://ex/q> ?z } }"
+        )
+        assert len(query.patterns) == 1
+        assert len(query.optional_groups) == 1
+        assert len(query.optional_groups[0]) == 1
+        assert not query.is_union
+
+    def test_multiple_optional_groups_ordered(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { ?s <http://ex/p> ?o . "
+            "OPTIONAL { ?s <http://ex/q> ?a } OPTIONAL { ?s <http://ex/r> ?b } }"
+        )
+        assert len(query.optional_groups) == 2
+        assert query.optional_groups[0][0].predicate.value == "http://ex/q"
+        assert query.optional_groups[1][0].predicate.value == "http://ex/r"
+
+    def test_optional_with_multiple_patterns(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { ?s <http://ex/p> ?o . "
+            "OPTIONAL { ?s <http://ex/q> ?a . ?a <http://ex/r> ?b } }"
+        )
+        assert len(query.optional_groups[0]) == 2
+
+    def test_projection_may_use_optional_variables(self):
+        query = parse_sparql(
+            "SELECT ?z WHERE { ?s <http://ex/p> ?o . "
+            "OPTIONAL { ?s <http://ex/q> ?z } }"
+        )
+        assert query.projection == (Variable("z"),)
+
+    def test_empty_optional_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s WHERE { ?s <http://ex/p> ?o . OPTIONAL { } }")
+
+
+class TestUnionParsing:
+    def test_two_branches(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { { ?s <http://ex/p> ?o } UNION { ?s <http://ex/q> ?o } }"
+        )
+        assert query.is_union
+        assert not query.patterns
+        assert len(query.union_branches) == 2
+
+    def test_three_branches(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { { ?s <http://ex/p> ?o } UNION "
+            "{ ?s <http://ex/q> ?o } UNION { ?s <http://ex/r> ?o } }"
+        )
+        assert len(query.union_branches) == 3
+
+    def test_branches_may_have_multiple_patterns(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { { ?s <http://ex/p> ?o . ?o <http://ex/q> ?z } "
+            "UNION { ?s <http://ex/r> ?o } }"
+        )
+        assert len(query.union_branches[0]) == 2
+
+    def test_all_patterns_collects_everything(self):
+        query = parse_sparql(
+            "SELECT ?s WHERE { { ?s <http://ex/p> ?o } UNION { ?s <http://ex/q> ?o } }"
+        )
+        assert len(query.all_patterns()) == 2
+
+    def test_projection_validated_against_all_branches(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(
+                "SELECT ?zzz WHERE { { ?s <http://ex/p> ?o } UNION "
+                "{ ?s <http://ex/q> ?o } }"
+            )
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?s WHERE { { ?s <http://ex/p> ?o } UNION { } }")

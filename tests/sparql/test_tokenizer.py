@@ -1,0 +1,78 @@
+"""Tokenizer tests: token kinds, keywords, errors."""
+
+import pytest
+
+from repro.errors import SparqlSyntaxError
+from repro.sparql import tokenize
+
+
+def kinds(query: str) -> list[str]:
+    return [token.kind for token in tokenize(query)]
+
+
+def values(query: str) -> list[str]:
+    return [token.value for token in tokenize(query)]
+
+
+class TestTokens:
+    def test_iri_ref(self):
+        tokens = tokenize("<http://ex/a>")
+        assert tokens[0].kind == "IRIREF"
+        assert tokens[0].value == "http://ex/a"
+
+    def test_variables_both_sigils(self):
+        tokens = tokenize("?x $y")
+        assert [t.value for t in tokens[:2]] == ["x", "y"]
+        assert all(t.kind == "VAR" for t in tokens[:2])
+
+    def test_string_with_escapes(self):
+        tokens = tokenize('"a\\"b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_language_tag(self):
+        tokens = tokenize('"hi"@en-US')
+        assert tokens[1].kind == "LANGTAG"
+        assert tokens[1].value == "en-US"
+
+    def test_numbers(self):
+        tokens = tokenize("42 -3 4.5")
+        assert [t.value for t in tokens[:3]] == ["42", "-3", "4.5"]
+        assert all(t.kind == "NUMBER" for t in tokens[:3])
+
+    def test_prefixed_name(self):
+        tokens = tokenize("wsdbm:User0")
+        assert tokens[0].kind == "PNAME"
+        assert tokens[0].value == "wsdbm:User0"
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("select WHERE filter")[:3] == ["KEYWORD"] * 3
+        assert values("select")[0] == "SELECT"
+
+    def test_a_shorthand_keyword(self):
+        tokens = tokenize("?s a ?o")
+        assert tokens[1].kind == "KEYWORD"
+        assert tokens[1].value == "A"
+
+    def test_punctuation_multi_char(self):
+        tokens = tokenize("&& || != <= >= ^^")
+        assert [t.value for t in tokens[:6]] == ["&&", "||", "!=", "<=", ">=", "^^"]
+
+    def test_blank_node(self):
+        tokens = tokenize("_:b0")
+        assert tokens[0].kind == "BNODE"
+        assert tokens[0].value == "b0"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("?x # comment here\n?y")
+        assert [t.value for t in tokens[:2]] == ["x", "y"]
+
+    def test_eof_sentinel_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("?x @@ ?y")
+
+    def test_bare_identifier_that_is_not_keyword_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("bogusword")

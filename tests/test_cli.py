@@ -1,0 +1,116 @@
+"""CLI tests: every subcommand end to end (benchmark at tiny scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def watdiv_file(tmp_path):
+    path = tmp_path / "data.nt"
+    assert main(["generate", "--scale", "30", "--seed", "3", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_parseable_ntriples(self, watdiv_file):
+        from repro.rdf import Graph
+
+        graph = Graph.from_file(watdiv_file)
+        assert len(graph) > 500
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.nt"
+        b = tmp_path / "b.nt"
+        main(["generate", "--scale", "30", "--seed", "3", "--out", str(a)])
+        main(["generate", "--scale", "30", "--seed", "3", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestQuery:
+    def test_query_prints_rows(self, watdiv_file, capsys):
+        code = main(
+            [
+                "query",
+                "--data", str(watdiv_file),
+                "--query",
+                "SELECT ?s ?o WHERE { ?s wsdbm:likes ?o } LIMIT 3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("?s\t?o")
+        assert "wsdbm/User" in out
+
+    def test_query_from_file(self, watdiv_file, tmp_path, capsys):
+        query_file = tmp_path / "q.rq"
+        query_file.write_text("SELECT ?s WHERE { ?s wsdbm:likes ?o } LIMIT 1")
+        assert main(
+            ["query", "--data", str(watdiv_file), "--query-file", str(query_file)]
+        ) == 0
+        assert "?s" in capsys.readouterr().out
+
+    def test_explain_mode(self, watdiv_file, capsys):
+        main(
+            [
+                "query", "--data", str(watdiv_file), "--explain",
+                "--query",
+                "SELECT ?s WHERE { ?s wsdbm:likes ?o . ?s wsdbm:follows ?f }",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Join Tree" in out and "Engine Plan" in out
+
+    def test_vp_strategy_flag(self, watdiv_file, capsys):
+        main(
+            [
+                "query", "--data", str(watdiv_file), "--strategy", "vp", "--explain",
+                "--query", "SELECT ?s WHERE { ?s wsdbm:likes ?o . ?s wsdbm:follows ?f }",
+            ]
+        )
+        assert "PT" not in capsys.readouterr().out.split("Engine Plan")[0]
+
+    def test_missing_query_is_an_error(self, watdiv_file):
+        assert main(["query", "--data", str(watdiv_file)]) == 2
+
+
+class TestQueries:
+    def test_prints_all_twenty(self, capsys):
+        main(["queries", "--scale", "30"])
+        out = capsys.readouterr().out
+        for name in ("C1", "F5", "L3", "S7"):
+            assert f"-- {name} " in out
+
+    def test_name_filter(self, capsys):
+        main(["queries", "--scale", "30", "--name", "L4"])
+        out = capsys.readouterr().out
+        assert "-- L4 " in out
+        assert "-- C1 " not in out
+
+
+class TestBenchmark:
+    def test_single_experiment(self, capsys):
+        assert main(["benchmark", "--scale", "30", "--experiment", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Table 1" not in out
+
+    def test_table1_experiment(self, capsys):
+        assert main(["benchmark", "--scale", "30", "--experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+    def test_chart_flag_renders_bars(self, capsys):
+        assert main(["benchmark", "--scale", "30", "--experiment", "figure3", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "log-scale bars" in out and "█" in out
+
+
+class TestParser:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

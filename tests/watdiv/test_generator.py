@@ -1,0 +1,103 @@
+"""WatDiv generator tests: determinism, populations, schema properties."""
+
+import pytest
+
+from repro.rdf.terms import IRI
+from repro.watdiv import MULTIVALUED_PROPERTIES, Populations, generate_watdiv
+from repro.watdiv.schema import GR, REV, SORG, WSDBM
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_watdiv(scale=30, seed=1)
+        b = generate_watdiv(scale=30, seed=1)
+        assert set(a.graph) == set(b.graph)
+
+    def test_different_seed_different_graph(self):
+        a = generate_watdiv(scale=30, seed=1)
+        b = generate_watdiv(scale=30, seed=2)
+        assert set(a.graph) != set(b.graph)
+
+    def test_placeholders_deterministic(self):
+        a = generate_watdiv(scale=30, seed=1)
+        b = generate_watdiv(scale=30, seed=1)
+        assert a.placeholder("topic", 3) == b.placeholder("topic", 3)
+
+
+class TestPopulations:
+    def test_scale_drives_counts(self):
+        small = Populations(50)
+        large = Populations(500)
+        assert large.users == 10 * small.users
+        assert large.products > small.products
+        assert large.countries == small.countries == 25
+
+    def test_minimum_scale_enforced(self):
+        with pytest.raises(ValueError):
+            Populations(5)
+
+    def test_registries_match_populations(self):
+        dataset = generate_watdiv(scale=40, seed=3)
+        populations = Populations(40)
+        assert len(dataset.users) == populations.users
+        assert len(dataset.products) == populations.products
+        assert len(dataset.offers) == populations.offers
+        assert len(dataset.countries) == populations.countries
+
+
+class TestSchemaProperties:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_watdiv(scale=60, seed=5)
+
+    def test_triples_per_subject_near_watdiv(self, dataset):
+        ratio = len(dataset.graph) / len(dataset.graph.subjects)
+        assert 5 <= ratio <= 15  # WatDiv sits around 8-10
+
+    def test_multivalued_properties_are_multivalued(self, dataset):
+        from repro.rdf import collect_statistics
+
+        stats = collect_statistics(dataset.graph)
+        for predicate in (WSDBM + "likes", WSDBM + "hasGenre", REV + "hasReview"):
+            assert stats.for_predicate(predicate).is_multivalued, predicate
+        assert MULTIVALUED_PROPERTIES  # documented set is non-empty
+
+    def test_offers_link_retailers_to_products(self, dataset):
+        offers_edges = dataset.graph.triples_with_predicate(IRI(GR + "offers"))
+        includes_edges = dataset.graph.triples_with_predicate(IRI(GR + "includes"))
+        assert offers_edges and includes_edges
+        offered = {t.object for t in offers_edges}
+        including = {t.subject for t in includes_edges}
+        assert offered == including  # every offer is included exactly once
+
+    def test_every_review_has_reviewer_and_rating(self, dataset):
+        reviewers = dataset.graph.triples_with_predicate(IRI(REV + "reviewer"))
+        ratings = dataset.graph.triples_with_predicate(IRI(REV + "rating"))
+        assert len(reviewers) == len(ratings) == len(dataset.reviews)
+
+    def test_cities_have_countries(self, dataset):
+        from repro.watdiv.schema import GN
+
+        edges = dataset.graph.triples_with_predicate(IRI(GN + "parentCountry"))
+        assert len(edges) == len(dataset.cities)
+
+    def test_zipf_skew_concentrates_popularity(self, dataset):
+        """The most-liked product gets far more likes than the median."""
+        likes = dataset.graph.triples_with_predicate(IRI(WSDBM + "likes"))
+        counts = {}
+        for triple in likes:
+            counts[triple.object] = counts.get(triple.object, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] >= 4 * values[len(values) // 2]
+
+    def test_placeholder_kinds_all_work(self, dataset):
+        for kind in (
+            "user", "product", "retailer", "website", "city", "country",
+            "topic", "sub_genre", "language", "product_category", "role",
+            "age_group",
+        ):
+            assert dataset.placeholder(kind, 0) is not None
+
+    def test_placeholder_unknown_kind_rejected(self, dataset):
+        with pytest.raises(KeyError):
+            dataset.placeholder("starship", 0)
