@@ -68,8 +68,13 @@ def unbound_predicate_frame(
         union = union.union(frame)
     shaped = shape_vp_frame(session, union, pattern, keep=["__p"])
     outputs: list = [name for name in shaped.columns if name != "__p"]
-    outputs.append((predicate_variable.name, col("__p")))
-    return shaped.select(*outputs)
+    if predicate_variable.name in outputs:
+        # The predicate variable also binds the subject or object of the same
+        # pattern (e.g. ``?s ?p ?p``): constrain against the tag column
+        # instead of emitting a duplicate output column.
+        shaped = shaped.filter(col(predicate_variable.name) == col("__p"))
+        return shaped.select(*outputs)
+    return shaped.select(*outputs, (predicate_variable.name, col("__p")))
 
 
 def shape_vp_frame(

@@ -278,10 +278,22 @@ class SparqlGxDirect:
 
         frame = self.session.table("sde_triples")
         if isinstance(pattern.predicate, Variable):
-            renamed = frame.rename({"p": pattern.predicate.name})
-            return shape_vp_frame(
-                self.session, renamed, pattern, keep=[pattern.predicate.name]
+            name = pattern.predicate.name
+            repeated = any(
+                isinstance(slot, Variable) and slot.name == name
+                for slot in (pattern.subject, pattern.object)
             )
+            if repeated:
+                # ``?p ?p ?o`` / ``?s ?p ?p``: the predicate equals another
+                # slot, so constrain in place and let the subject/object
+                # column carry the binding.
+                if isinstance(pattern.subject, Variable) and pattern.subject.name == name:
+                    frame = frame.filter(col("s") == col("p"))
+                if isinstance(pattern.object, Variable) and pattern.object.name == name:
+                    frame = frame.filter(col("o") == col("p"))
+                return shape_vp_frame(self.session, frame.select("s", "o"), pattern)
+            renamed = frame.rename({"p": name})
+            return shape_vp_frame(self.session, renamed, pattern, keep=[name])
         frame = frame.filter(col("p") == lit(encode_term(pattern.predicate)))
         return shape_vp_frame(self.session, frame.select("s", "o"), pattern)
 

@@ -6,6 +6,7 @@ Installed as ``prost-repro``::
     prost-repro query --data watdiv.nt --query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
     prost-repro benchmark --scale 300 --experiment table2
     prost-repro queries --scale 300 --name C3
+    prost-repro fuzz --seed 0 --iterations 50
 """
 
 from __future__ import annotations
@@ -95,6 +96,45 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import ALL_SYSTEMS, fuzz_defaults, run_fuzz
+
+    # Resolution order: explicit flag > environment variable > default.
+    seed, iterations = fuzz_defaults()
+    if args.seed is not None:
+        seed = args.seed
+    if args.iterations is not None:
+        iterations = args.iterations
+    systems = tuple(args.system) if args.system else ALL_SYSTEMS
+    for name in systems:
+        if name not in ALL_SYSTEMS:
+            print(
+                f"error: unknown system {name!r} (choose from {', '.join(ALL_SYSTEMS)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    def progress(current_seed: int, mismatch_count: int) -> None:
+        if args.verbose:
+            status = "ok" if mismatch_count == 0 else f"{mismatch_count} mismatch(es)"
+            print(f"# seed {current_seed}: {status}", file=sys.stderr)
+
+    report = run_fuzz(
+        base_seed=seed,
+        iterations=iterations,
+        queries_per_graph=args.queries_per_graph,
+        systems=systems,
+        shrink=not args.no_shrink,
+        stop_on_first=args.stop_on_first,
+        progress=progress,
+    )
+    print(report.summary())
+    for mismatch in report.mismatches:
+        print()
+        print(mismatch.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="prost-repro",
@@ -136,6 +176,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="also render figure 3 as ASCII log-scale bars",
     )
     benchmark.set_defaults(handler=_cmd_benchmark)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential-fuzz all engines against the brute-force oracle",
+        description="Generate random graphs and BGP queries from a seed, run "
+        "them on every engine, and compare the solutions against a "
+        "brute-force oracle. REPRO_FUZZ_SEED and REPRO_FUZZ_ITERATIONS "
+        "override the defaults (the same variables pytest honors). Exits "
+        "non-zero when any engine disagrees; the report includes a shrunken "
+        "counterexample and a replay command.",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=None, help="base seed, one graph per seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--iterations", type=int, default=None, help="number of seeds to run (default 20)"
+    )
+    fuzz.add_argument(
+        "--queries-per-graph", type=int, default=10, help="random queries per graph"
+    )
+    fuzz.add_argument(
+        "--system",
+        action="append",
+        metavar="NAME",
+        help="restrict to one or more systems (repeatable); default: all",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report raw counterexamples unshrunken"
+    )
+    fuzz.add_argument(
+        "--stop-on-first", action="store_true", help="stop at the first failing seed"
+    )
+    fuzz.add_argument("--verbose", action="store_true", help="per-seed progress on stderr")
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

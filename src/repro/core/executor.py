@@ -98,13 +98,13 @@ class JoinTreeExecutor:
             union = union.union(frame)
         shaped = self._shape_so(union, pattern, SUBJECT_COLUMN, OBJECT_COLUMN, keep=["__p"])
         outputs = [name for name in shaped.columns if name != "__p"]
-        outputs.append((predicate_variable.name, col("__p")))
-        if predicate_variable.name in [n for n in outputs if isinstance(n, str)]:
-            raise TranslationError(
-                f"predicate variable {predicate_variable} also used elsewhere "
-                "in the same pattern, which is not supported"
-            )
-        return shaped.select(*outputs)
+        if predicate_variable.name in outputs:
+            # The predicate variable also binds the subject or object of the
+            # same pattern (e.g. ``?s ?p ?p``): the shared variable is an
+            # equality constraint against the tag column, not a second output.
+            shaped = shaped.filter(col(predicate_variable.name) == col("__p"))
+            return shaped.select(*outputs)
+        return shaped.select(*outputs, (predicate_variable.name, col("__p")))
 
     def _empty_plan(self, pattern: TriplePattern) -> DataFrame:
         """A correctly-shaped empty relation for a predicate absent from the

@@ -20,13 +20,18 @@ class Graph:
     """A set of RDF triples with predicate- and subject-grouped views.
 
     The graph is set-semantic: inserting a duplicate triple is a no-op, which
-    matches the behaviour of every store the paper evaluates.
+    matches the behaviour of every store the paper evaluates. Storage is
+    dict-backed (insertion-ordered) rather than ``set``-backed so iteration
+    order is a pure function of the insertion sequence, never of Python's
+    per-process hash randomization — differential tests compare engines
+    loaded from the same graph and rely on this.
     """
 
     def __init__(self, triples: Iterable[Triple] = ()):
-        self._triples: set[Triple] = set()
-        self._by_predicate: dict[IRI, set[Triple]] = defaultdict(set)
-        self._by_subject: dict[SubjectTerm, set[Triple]] = defaultdict(set)
+        # Dicts double as insertion-ordered sets (keys only, values None).
+        self._triples: dict[Triple, None] = {}
+        self._by_predicate: dict[IRI, dict[Triple, None]] = defaultdict(dict)
+        self._by_subject: dict[SubjectTerm, dict[Triple, None]] = defaultdict(dict)
         for triple in triples:
             self.add(triple)
 
@@ -36,9 +41,9 @@ class Graph:
         """Insert a triple; return ``True`` when it was not already present."""
         if triple in self._triples:
             return False
-        self._triples.add(triple)
-        self._by_predicate[triple.predicate].add(triple)
-        self._by_subject[triple.subject].add(triple)
+        self._triples[triple] = None
+        self._by_predicate[triple.predicate][triple] = None
+        self._by_subject[triple.subject][triple] = None
         return True
 
     def update(self, triples: Iterable[Triple]) -> int:
@@ -78,12 +83,12 @@ class Graph:
 
     def triples_with_predicate(self, predicate: IRI) -> list[Triple]:
         """All triples using ``predicate``, in deterministic (subject) order."""
-        triples = self._by_predicate.get(predicate, set())
+        triples = self._by_predicate.get(predicate, ())
         return sorted(triples, key=lambda t: (term_sort_key(t.subject), term_sort_key(t.object)))
 
     def triples_with_subject(self, subject: SubjectTerm) -> list[Triple]:
         """All triples about ``subject``, in deterministic (predicate) order."""
-        triples = self._by_subject.get(subject, set())
+        triples = self._by_subject.get(subject, ())
         return sorted(triples, key=lambda t: (t.predicate.value, term_sort_key(t.object)))
 
     def objects(self, subject: SubjectTerm, predicate: IRI) -> list[Term]:

@@ -1,0 +1,46 @@
+"""Randomized differential-testing harness.
+
+The fuzzing subsystem behind ``tests/fuzz/`` and the ``prost-repro fuzz``
+CLI subcommand. Three parts:
+
+- :mod:`~repro.testing.graphgen` — seedable random RDF graphs over the
+  WatDiv vocabulary (configurable predicate count, multi-valued density,
+  literal ratio);
+- :mod:`~repro.testing.querygen` — random BGP queries in star, path,
+  snowflake, and cyclic shapes with optional FILTER / DISTINCT / LIMIT and
+  unbound predicates, emitted as both AST and SPARQL text;
+- :mod:`~repro.testing.oracle` / :mod:`~repro.testing.differential` — a
+  brute-force nested-loop reference oracle plus the runner that executes
+  every generated query on all engines, asserts multiset-equal solutions,
+  and shrinks counterexamples to minimal (graph, query) pairs.
+
+Everything is deterministic given a seed: a failure report prints the seed
+and a one-command replay line.
+"""
+
+from .differential import (
+    ALL_SYSTEMS,
+    DifferentialMismatch,
+    DifferentialRunner,
+    FuzzReport,
+    fuzz_defaults,
+    run_fuzz,
+)
+from .graphgen import GraphGenConfig, generate_graph
+from .oracle import BruteForceOracle
+from .querygen import QueryGenConfig, generate_query, serialize_query
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "BruteForceOracle",
+    "DifferentialMismatch",
+    "DifferentialRunner",
+    "FuzzReport",
+    "GraphGenConfig",
+    "QueryGenConfig",
+    "fuzz_defaults",
+    "generate_graph",
+    "generate_query",
+    "run_fuzz",
+    "serialize_query",
+]

@@ -1,0 +1,431 @@
+"""Differential runner: oracle vs every engine, with counterexample shrinking.
+
+One *case* is a (graph, query) pair. The runner executes the query on the
+:class:`~repro.testing.oracle.BruteForceOracle` and on each system under
+test — PRoST (``mixed`` and ``vp``), S2RDF, SPARQLGX, and Rya — and asserts
+**multiset equality** of the solution rows. A failing case is shrunk to a
+minimal counterexample by dropping graph triples and query patterns while
+the mismatch still reproduces, then reported with its seed, the shrunken
+graph, the shrunken query, and a one-command replay line.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, Triple
+from ..sparql.algebra import SelectQuery, Variable
+from ..sparql.parser import parse_sparql
+from .graphgen import GraphGenConfig, generate_graph
+from .oracle import BruteForceOracle
+from .querygen import QueryGenConfig, generate_query, serialize_query
+
+#: Systems the differential harness covers, in reporting order.
+ALL_SYSTEMS = ("prost-mixed", "prost-vp", "s2rdf", "sparqlgx", "rya")
+
+#: Environment variables honored by both pytest's opt-in fuzz test and the
+#: ``prost-repro fuzz`` CLI subcommand (one resolution code path for both).
+SEED_ENV = "REPRO_FUZZ_SEED"
+ITERATIONS_ENV = "REPRO_FUZZ_ITERATIONS"
+
+
+def fuzz_defaults(seed: int = 0, iterations: int = 20) -> tuple[int, int]:
+    """(seed, iterations), with :data:`SEED_ENV`/:data:`ITERATIONS_ENV`
+    overriding the passed defaults when set."""
+    env_seed = os.environ.get(SEED_ENV)
+    env_iterations = os.environ.get(ITERATIONS_ENV)
+    if env_seed is not None:
+        seed = int(env_seed)
+    if env_iterations is not None:
+        iterations = int(env_iterations)
+    return seed, iterations
+
+
+def make_system(name: str):
+    """A fresh, unloaded engine instance for a system name."""
+    from ..baselines import Rya, S2Rdf, SparqlGx
+    from ..core.prost import ProstEngine
+
+    if name == "prost-mixed":
+        return ProstEngine(strategy="mixed")
+    if name == "prost-vp":
+        return ProstEngine(strategy="vp")
+    if name == "s2rdf":
+        return S2Rdf()
+    if name == "sparqlgx":
+        return SparqlGx()
+    if name == "rya":
+        return Rya()
+    raise ValueError(f"unknown system {name!r}")
+
+
+def row_key(row: tuple[Term | None, ...]) -> tuple[str | None, ...]:
+    """Hashable, serialization-based identity of one solution row."""
+    return tuple(None if term is None else term.n3() for term in row)
+
+
+@dataclass
+class DifferentialMismatch:
+    """One verified disagreement between a system and the oracle.
+
+    ``kind`` is ``"rows"`` (different solutions), ``"error"`` (the system
+    raised), or ``"round-trip"`` (serialized SPARQL did not parse back to
+    the generated AST — a harness/translator bug, no system involved).
+    """
+
+    kind: str
+    system: str
+    seed: int
+    query_index: int
+    query_text: str
+    graph_ntriples: str
+    detail: str
+    expected: list[tuple] = field(default_factory=list)
+    actual: list[tuple] = field(default_factory=list)
+
+    @property
+    def replay_command(self) -> str:
+        return (
+            "PYTHONPATH=src python -m repro.cli fuzz "
+            f"--seed {self.seed} --iterations 1"
+        )
+
+    def format(self) -> str:
+        triple_count = sum(
+            1 for line in self.graph_ntriples.splitlines() if line.strip()
+        )
+        lines = [
+            f"differential mismatch [{self.kind}] system={self.system} "
+            f"seed={self.seed} query#{self.query_index}",
+            f"replay: {self.replay_command}",
+            "query:",
+            f"  {self.query_text}",
+            f"graph ({triple_count} triples):",
+        ]
+        lines.extend(f"  {line}" for line in self.graph_ntriples.splitlines() if line)
+        lines.append(self.detail)
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run over a range of seeds."""
+
+    seeds: list[int]
+    cases: int
+    mismatches: list[DifferentialMismatch]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"
+        if not self.seeds:
+            return f"fuzz: 0 cases over 0 seed(s): {status}"
+        return (
+            f"fuzz: {self.cases} cases over {len(self.seeds)} seed(s) "
+            f"[{self.seeds[0]}..{self.seeds[-1]}]: {status}"
+        )
+
+
+class DifferentialRunner:
+    """Generates seeded cases and checks every system against the oracle."""
+
+    def __init__(
+        self,
+        systems: tuple[str, ...] = ALL_SYSTEMS,
+        query_config: QueryGenConfig | None = None,
+        queries_per_graph: int = 10,
+        shrink: bool = True,
+    ):
+        self.systems = systems
+        self.query_config = query_config or QueryGenConfig()
+        self.queries_per_graph = queries_per_graph
+        self.shrink = shrink
+
+    # -- seeded case generation ----------------------------------------------
+
+    def generate_case(self, seed: int) -> tuple[Graph, list[SelectQuery]]:
+        """The (graph, queries) pair a seed denotes — shared by pytest, the
+        CLI, and failure replay, so a printed seed is always reproducible."""
+        rng = random.Random(seed)
+        graph = generate_graph(_vary_graph_config(rng), rng)
+        queries = [
+            generate_query(graph, self.query_config, rng)
+            for _ in range(self.queries_per_graph)
+        ]
+        return graph, queries
+
+    # -- checking -------------------------------------------------------------
+
+    def run_seed(self, seed: int) -> list[DifferentialMismatch]:
+        """Check every query of one seed on every system; loaded engines are
+        reused across the seed's queries (loading dominates the runtime)."""
+        graph, queries = self.generate_case(seed)
+        oracle = BruteForceOracle(graph)
+        graph_nt = graph.to_ntriples()
+
+        mismatches: list[DifferentialMismatch] = []
+        loaded = {}
+        for name in self.systems:
+            try:
+                system = make_system(name)
+                system.load(graph)
+                loaded[name] = system
+            except Exception as error:  # noqa: BLE001 — report, don't crash
+                mismatches.append(
+                    DifferentialMismatch(
+                        kind="error",
+                        system=name,
+                        seed=seed,
+                        query_index=-1,
+                        query_text="(load)",
+                        graph_ntriples=graph_nt,
+                        detail=f"load failed: {type(error).__name__}: {error}",
+                    )
+                )
+
+        for index, query in enumerate(queries):
+            text = serialize_query(query)
+            parsed = parse_sparql(text)
+            if parsed != query:
+                mismatches.append(
+                    DifferentialMismatch(
+                        kind="round-trip",
+                        system="parser",
+                        seed=seed,
+                        query_index=index,
+                        query_text=text,
+                        graph_ntriples=graph_nt,
+                        detail=f"parsed AST differs from generated AST:\n"
+                        f"  generated: {query}\n  parsed:    {parsed}",
+                    )
+                )
+                continue
+            expected = oracle.evaluate(query)
+            for name, system in loaded.items():
+                mismatch = self._check_one(
+                    name, system, graph, query, expected, seed, index, text, graph_nt
+                )
+                if mismatch is not None:
+                    mismatches.append(mismatch)
+        return mismatches
+
+    def _check_one(
+        self, name, system, graph, query, expected, seed, index, text, graph_nt
+    ) -> DifferentialMismatch | None:
+        try:
+            actual = system.sparql(query).rows
+        except Exception as error:  # noqa: BLE001 — an engine crash is a finding
+            shrunk_graph, shrunk_query = self._shrink(graph, query, name)
+            return DifferentialMismatch(
+                kind="error",
+                system=name,
+                seed=seed,
+                query_index=index,
+                query_text=serialize_query(shrunk_query),
+                graph_ntriples=shrunk_graph.to_ntriples(),
+                detail=f"{type(error).__name__}: {error}",
+            )
+        if Counter(map(row_key, actual)) == Counter(map(row_key, expected)):
+            return None
+        shrunk_graph, shrunk_query = self._shrink(graph, query, name)
+        shrunk_expected = BruteForceOracle(shrunk_graph).evaluate(shrunk_query)
+        try:
+            fresh = make_system(name)
+            fresh.load(shrunk_graph)
+            shrunk_actual = fresh.sparql(shrunk_query).rows
+        except Exception as error:  # noqa: BLE001
+            shrunk_actual = []
+            detail_suffix = f" (shrunken run raised {type(error).__name__}: {error})"
+        else:
+            detail_suffix = ""
+        want = Counter(map(row_key, shrunk_expected))
+        got = Counter(map(row_key, shrunk_actual))
+        missing = list((want - got).elements())
+        unexpected = list((got - want).elements())
+        return DifferentialMismatch(
+            kind="rows",
+            system=name,
+            seed=seed,
+            query_index=index,
+            query_text=serialize_query(shrunk_query),
+            graph_ntriples=shrunk_graph.to_ntriples(),
+            detail=(
+                f"oracle: {len(shrunk_expected)} rows, {name}: "
+                f"{len(shrunk_actual)} rows; missing from system: "
+                f"{missing[:5]}; unexpected in system: {unexpected[:5]}"
+                + detail_suffix
+            ),
+            expected=shrunk_expected,
+            actual=shrunk_actual,
+        )
+
+    # -- shrinking -------------------------------------------------------------
+
+    def _shrink(
+        self, graph: Graph, query: SelectQuery, system_name: str
+    ) -> tuple[Graph, SelectQuery]:
+        """Minimal (graph, query) still reproducing the mismatch."""
+        if not self.shrink:
+            return graph, query
+        triples = list(graph)
+        triples = _shrink_triples(triples, query, system_name)
+        query = _shrink_query(triples, query, system_name)
+        triples = _shrink_triples(triples, query, system_name)
+        return Graph(triples), query
+
+
+def _still_fails(triples: list[Triple], query: SelectQuery, system_name: str) -> bool:
+    """Whether the case still mismatches (different rows, or a crash)."""
+    graph = Graph(triples)
+    try:
+        expected = BruteForceOracle(graph).evaluate(query)
+    except Exception:  # noqa: BLE001 — an invalid reduction, not a failure
+        return False
+    try:
+        system = make_system(system_name)
+        system.load(graph)
+        actual = system.sparql(query).rows
+    except Exception:  # noqa: BLE001 — crashes reproduce the finding
+        return True
+    return Counter(map(row_key, actual)) != Counter(map(row_key, expected))
+
+
+def _shrink_triples(
+    triples: list[Triple], query: SelectQuery, system_name: str
+) -> list[Triple]:
+    """Delta-debugging-style removal: big chunks first, then single triples."""
+    improved = True
+    while improved:
+        improved = False
+        chunk = max(1, len(triples) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(triples):
+                candidate = triples[:index] + triples[index + chunk :]
+                if candidate and _still_fails(candidate, query, system_name):
+                    triples = candidate
+                    improved = True
+                else:
+                    index += chunk
+            chunk //= 2
+    return triples
+
+
+def _shrink_query(
+    triples: list[Triple], query: SelectQuery, system_name: str
+) -> SelectQuery:
+    """Drop patterns, filters, and modifiers while the mismatch reproduces."""
+    improved = True
+    while improved:
+        improved = False
+        for index in range(len(query.patterns)):
+            if len(query.patterns) <= 1:
+                break
+            candidate = _drop_pattern(query, index)
+            if candidate is not None and _still_fails(triples, candidate, system_name):
+                query = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        for index in range(len(query.filters)):
+            candidate = replace(
+                query,
+                filters=query.filters[:index] + query.filters[index + 1 :],
+            )
+            if _still_fails(triples, candidate, system_name):
+                query = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        for candidate in _modifier_reductions(query):
+            if _still_fails(triples, candidate, system_name):
+                query = candidate
+                improved = True
+                break
+    return query
+
+
+def _drop_pattern(query: SelectQuery, index: int) -> SelectQuery | None:
+    remaining = query.patterns[:index] + query.patterns[index + 1 :]
+    kept_variables = {
+        slot.name
+        for pattern in remaining
+        for slot in (pattern.subject, pattern.predicate, pattern.object)
+        if isinstance(slot, Variable)
+    }
+    if not kept_variables:
+        return None  # SELECT needs at least one variable to project
+    projection = tuple(v for v in query.projection if v.name in kept_variables)
+    if not projection:
+        projection = (Variable(sorted(kept_variables)[0]),)
+    filters = tuple(
+        f
+        for f in query.filters
+        if all(v.name in kept_variables for v in f.variables)
+    )
+    return replace(query, patterns=remaining, variables=projection, filters=filters)
+
+
+def _modifier_reductions(query: SelectQuery):
+    if query.distinct:
+        yield replace(query, distinct=False)
+    if query.limit is not None:
+        yield replace(query, limit=None, offset=None)
+    if query.offset is not None:
+        yield replace(query, offset=None)
+
+
+# -- top-level fuzzing loop ----------------------------------------------------
+
+
+def _vary_graph_config(rng: random.Random) -> GraphGenConfig:
+    """Per-seed diversity: each seed fuzzes a differently-shaped graph."""
+    return GraphGenConfig(
+        num_triples=rng.randint(8, 50),
+        num_entities=rng.randint(3, 12),
+        num_predicates=rng.randint(2, 8),
+        multi_valued_density=rng.choice((0.0, 0.15, 0.3, 0.5)),
+        literal_ratio=rng.choice((0.1, 0.3, 0.5)),
+    )
+
+
+def run_fuzz(
+    base_seed: int = 0,
+    iterations: int = 20,
+    queries_per_graph: int = 10,
+    systems: tuple[str, ...] = ALL_SYSTEMS,
+    shrink: bool = True,
+    stop_on_first: bool = False,
+    progress=None,
+) -> FuzzReport:
+    """Fuzz ``iterations`` consecutive seeds starting at ``base_seed``.
+
+    Args:
+        progress: optional callback ``(seed, mismatches_so_far)`` invoked
+            after each seed (the CLI uses it for live output).
+    """
+    runner = DifferentialRunner(
+        systems=systems, queries_per_graph=queries_per_graph, shrink=shrink
+    )
+    seeds: list[int] = []
+    mismatches: list[DifferentialMismatch] = []
+    cases = 0
+    for offset in range(iterations):
+        seed = base_seed + offset
+        seeds.append(seed)
+        mismatches.extend(runner.run_seed(seed))
+        cases += queries_per_graph
+        if progress is not None:
+            progress(seed, len(mismatches))
+        if mismatches and stop_on_first:
+            break
+    return FuzzReport(seeds=seeds, cases=cases, mismatches=mismatches)

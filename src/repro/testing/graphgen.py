@@ -1,0 +1,113 @@
+"""Seedable random RDF graph generator for differential testing.
+
+Unlike :mod:`repro.watdiv`, which models a realistic e-commerce universe,
+this generator optimizes for *bug surface per triple*: small entity pools so
+joins actually connect, a tunable share of multi-valued (subject, predicate)
+pairs so the Property Table gets list columns that must explode correctly,
+and a tunable literal ratio so filters and literal-object patterns have
+something to bite on. Predicates reuse the WatDiv vocabulary
+(:data:`repro.watdiv.schema.ALL_PROPERTIES`) so generated graphs exercise
+the same IRIs — including the known multi-valued ones — as the benchmark
+workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, XSD_INTEGER, Literal, Triple
+from ..watdiv.schema import ALL_PROPERTIES, MULTIVALUED_PROPERTIES, WSDBM
+
+
+@dataclass(frozen=True)
+class GraphGenConfig:
+    """Knobs of the random graph generator.
+
+    Attributes:
+        num_triples: target triple count (duplicates are re-rolled, so the
+            result has exactly this many distinct triples unless the
+            configuration space is too small).
+        num_entities: size of the IRI entity pool shared by subjects and
+            objects; smaller pools make denser, more join-friendly graphs.
+        num_predicates: how many predicates to draw from the WatDiv
+            vocabulary (multi-valued ones are included first so the
+            Property Table always gets list columns to explode).
+        multi_valued_density: probability that a new triple reuses an
+            existing (subject, predicate) pair with a fresh object, forcing
+            multi-valued predicates.
+        literal_ratio: probability that an object is a literal rather than
+            an entity IRI.
+        integer_ratio: among literals, probability of an ``xsd:integer``
+            (for comparison filters) instead of a plain string.
+    """
+
+    num_triples: int = 40
+    num_entities: int = 10
+    num_predicates: int = 6
+    multi_valued_density: float = 0.25
+    literal_ratio: float = 0.3
+    integer_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_triples < 1:
+            raise ValueError("num_triples must be positive")
+        if self.num_entities < 2:
+            raise ValueError("num_entities must be at least 2")
+        if self.num_predicates < 1:
+            raise ValueError("num_predicates must be positive")
+        for name in ("multi_valued_density", "literal_ratio", "integer_ratio"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+
+
+def predicate_pool(count: int) -> list[IRI]:
+    """The first ``count`` predicates, multi-valued WatDiv properties first.
+
+    Leading with the multi-valued vocabulary guarantees that even tiny
+    configurations produce list columns in PRoST's Property Table.
+    """
+    multivalued = [p for p in ALL_PROPERTIES if p in MULTIVALUED_PROPERTIES]
+    single = [p for p in ALL_PROPERTIES if p not in MULTIVALUED_PROPERTIES]
+    ordered = multivalued + single
+    if count > len(ordered):
+        ordered = ordered + [
+            f"{WSDBM}fuzzProperty{i}" for i in range(count - len(ordered))
+        ]
+    return [IRI(value) for value in ordered[:count]]
+
+
+#: Small pool of string lexical forms; repeats make joins on literals likely.
+_STRING_VALUES = ("alpha", "beta", "gamma", "delta", "x", "y")
+
+
+def generate_graph(config: GraphGenConfig, rng: random.Random) -> Graph:
+    """Generate a random graph; deterministic for a given ``rng`` state."""
+    entities = [IRI(f"{WSDBM}Entity{i}") for i in range(config.num_entities)]
+    predicates = predicate_pool(config.num_predicates)
+    graph = Graph()
+    pairs: list[tuple[IRI, IRI]] = []  # (subject, predicate) pairs seen so far
+
+    attempts = 0
+    max_attempts = config.num_triples * 20
+    while len(graph) < config.num_triples and attempts < max_attempts:
+        attempts += 1
+        if pairs and rng.random() < config.multi_valued_density:
+            subject, predicate = rng.choice(pairs)
+        else:
+            subject = rng.choice(entities)
+            predicate = rng.choice(predicates)
+        obj = _random_object(config, rng, entities)
+        if graph.add(Triple(subject, predicate, obj)):
+            pairs.append((subject, predicate))
+    return graph
+
+
+def _random_object(config: GraphGenConfig, rng: random.Random, entities):
+    if rng.random() < config.literal_ratio:
+        if rng.random() < config.integer_ratio:
+            return Literal(str(rng.randint(0, 20)), datatype=XSD_INTEGER)
+        return Literal(rng.choice(_STRING_VALUES))
+    return rng.choice(entities)

@@ -1,0 +1,299 @@
+"""Seedable random BGP/SPARQL query generator.
+
+Produces queries in the four join shapes the paper's workload distinguishes
+— **star** (one shared subject), **path** (subject-object chains),
+**snowflake** (a star with a chain hanging off one arm), and **cyclic**
+(a chain closed back on itself) — then perturbs them: constants substituted
+from the queried graph (so matches actually occur), unbound predicates
+(occasionally *sharing* a variable with another slot, the shape that
+historically crashed the translators), variable aliasing (self-loops and
+extra join edges), FILTER, DISTINCT, and LIMIT/OFFSET.
+
+Queries are emitted as :class:`~repro.sparql.algebra.SelectQuery` ASTs;
+:func:`serialize_query` renders SPARQL text that parses back to the *same*
+AST, which the differential runner asserts on every case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Term, XSD_INTEGER
+from ..sparql.algebra import (
+    And,
+    Comparison,
+    FilterExpression,
+    Or,
+    PatternTerm,
+    Regex,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+
+SHAPES = ("star", "path", "snowflake", "cyclic")
+
+
+@dataclass(frozen=True)
+class QueryGenConfig:
+    """Knobs of the random query generator (all probabilities per-slot)."""
+
+    max_patterns: int = 5
+    constant_subject_prob: float = 0.15
+    constant_object_prob: float = 0.35
+    unbound_predicate_prob: float = 0.12
+    repeated_predicate_var_prob: float = 0.25
+    variable_alias_prob: float = 0.15
+    miss_term_prob: float = 0.1
+    filter_prob: float = 0.4
+    distinct_prob: float = 0.25
+    limit_prob: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_patterns < 1:
+            raise ValueError("max_patterns must be positive")
+
+
+#: Regex patterns the generator draws from (simple, escape-free).
+_REGEX_PATTERNS = ("a", "^a", "x", "Entity", "ta$")
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def generate_query(
+    graph: Graph, config: QueryGenConfig, rng: random.Random
+) -> SelectQuery:
+    """Generate one random SELECT query against ``graph``'s vocabulary."""
+    shape = rng.choice(SHAPES)
+    edges = _shape_edges(shape, config, rng)
+    edges = _alias_variables(edges, config, rng)
+
+    subjects = sorted({t.subject for t in graph}, key=lambda t: t.n3())
+    predicates = [IRI(p.value) for p in graph.predicates]
+    objects = sorted({t.object for t in graph}, key=lambda t: t.n3())
+    if not subjects:  # empty graph: fall back to a fixed vocabulary
+        subjects = [IRI("http://fuzz/none")]
+    if not predicates:
+        predicates = [IRI("http://fuzz/noneP")]
+    if not objects:
+        objects = [IRI("http://fuzz/noneO")]
+
+    patterns: list[TriplePattern] = []
+    node_variables: list[str] = []
+    for position, (s_index, o_index) in enumerate(edges):
+        subject: PatternTerm = Variable(f"v{s_index}")
+        obj: PatternTerm = Variable(f"v{o_index}")
+        if rng.random() < config.constant_subject_prob:
+            subject = _sample(subjects, config, rng, miss=IRI(f"http://fuzz/missS{position}"))
+        if rng.random() < config.constant_object_prob:
+            obj = _sample(objects, config, rng, miss=IRI(f"http://fuzz/missO{position}"))
+        predicate = _choose_predicate(
+            subject, obj, predicates, position, config, rng
+        )
+        for slot in (subject, obj):
+            if isinstance(slot, Variable) and slot.name not in node_variables:
+                node_variables.append(slot.name)
+        patterns.append(TriplePattern(subject, predicate, obj))
+
+    all_variables: list[str] = []
+    for pattern in patterns:
+        for slot in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(slot, Variable) and slot.name not in all_variables:
+                all_variables.append(slot.name)
+    if not all_variables:
+        # Fully-constant query: re-open one object slot so SELECT has a
+        # variable to project.
+        first = patterns[0]
+        patterns[0] = TriplePattern(first.subject, first.predicate, Variable("v0"))
+        all_variables = ["v0"]
+
+    projection = tuple(
+        Variable(name)
+        for name in rng.sample(all_variables, rng.randint(1, len(all_variables)))
+    )
+
+    filters: tuple[FilterExpression, ...] = ()
+    if rng.random() < config.filter_prob:
+        filters = (_random_filter(all_variables, objects, rng),)
+
+    distinct = rng.random() < config.distinct_prob
+    limit = offset = None
+    if rng.random() < config.limit_prob:
+        limit = rng.randint(1, 5)
+        if rng.random() < 0.5:
+            offset = rng.randint(1, 3)
+
+    return SelectQuery(
+        variables=projection,
+        patterns=tuple(patterns),
+        filters=filters,
+        distinct=distinct,
+        limit=limit,
+        offset=offset,
+    )
+
+
+# -- shape construction -------------------------------------------------------
+
+
+def _shape_edges(
+    shape: str, config: QueryGenConfig, rng: random.Random
+) -> list[tuple[int, int]]:
+    """Subject/object variable indices per pattern, before term assignment."""
+    count = rng.randint(1, config.max_patterns)
+    if shape == "star":
+        return [(0, i + 1) for i in range(count)]
+    if shape == "path":
+        return [(i, i + 1) for i in range(count)]
+    if shape == "cyclic":
+        count = max(2, count)
+        return [(i, (i + 1) % count) for i in range(count)]
+    # Snowflake: a star plus a chain off the first arm.
+    arms = max(1, count // 2)
+    edges = [(0, i + 1) for i in range(arms)]
+    tail = arms + 1
+    previous = 1
+    for _ in range(count - arms):
+        edges.append((previous, tail))
+        previous = tail
+        tail += 1
+    return edges
+
+
+def _alias_variables(
+    edges: list[tuple[int, int]], config: QueryGenConfig, rng: random.Random
+) -> list[tuple[int, int]]:
+    """Occasionally merge two variable indices (self-loops, extra cycles)."""
+    if rng.random() >= config.variable_alias_prob:
+        return edges
+    indices = sorted({i for edge in edges for i in edge})
+    if len(indices) < 2:
+        return edges
+    target, source = rng.sample(indices, 2)
+    return [
+        (target if s == source else s, target if o == source else o)
+        for s, o in edges
+    ]
+
+
+def _choose_predicate(
+    subject: PatternTerm,
+    obj: PatternTerm,
+    predicates: list[IRI],
+    position: int,
+    config: QueryGenConfig,
+    rng: random.Random,
+) -> PatternTerm:
+    if rng.random() < config.unbound_predicate_prob:
+        # Sometimes reuse a node variable as the predicate variable — the
+        # repeated-variable shape engines must answer with an equality
+        # constraint, not a crash.
+        candidates = [
+            slot.name for slot in (subject, obj) if isinstance(slot, Variable)
+        ]
+        if candidates and rng.random() < config.repeated_predicate_var_prob:
+            return Variable(rng.choice(candidates))
+        return Variable(f"p{position if rng.random() < 0.5 else 0}")
+    if rng.random() < config.miss_term_prob:
+        return IRI(f"http://fuzz/missP{position}")
+    return rng.choice(predicates)
+
+
+def _sample(
+    pool: list[Term], config: QueryGenConfig, rng: random.Random, miss: Term
+) -> Term:
+    if rng.random() < config.miss_term_prob:
+        return miss
+    term = rng.choice(pool)
+    # Subject pools may contain blank nodes in principle; the fuzzing
+    # fragment sticks to IRIs and literals, which every engine stores.
+    return term
+
+
+def _random_filter(
+    variables: list[str], objects: list[Term], rng: random.Random
+) -> FilterExpression:
+    kind = rng.randrange(5)
+    if kind == 0:
+        return Regex(Variable(rng.choice(variables)), rng.choice(_REGEX_PATTERNS))
+    if kind == 1 and len(variables) >= 2:
+        left, right = rng.sample(variables, 2)
+        return Comparison(rng.choice(_COMPARISON_OPS), Variable(left), Variable(right))
+    if kind == 2:
+        literals = [o for o in objects if isinstance(o, Literal)]
+        target: Term = rng.choice(literals) if literals else Literal(
+            str(rng.randint(0, 20)), datatype=XSD_INTEGER
+        )
+        return Comparison(
+            rng.choice(("=", "!=")), Variable(rng.choice(variables)), target
+        )
+    comparison = Comparison(
+        rng.choice(_COMPARISON_OPS),
+        Variable(rng.choice(variables)),
+        Literal(str(rng.randint(0, 20)), datatype=XSD_INTEGER),
+    )
+    if kind == 3:
+        other = Comparison(
+            rng.choice(_COMPARISON_OPS),
+            Variable(rng.choice(variables)),
+            Literal(str(rng.randint(0, 20)), datatype=XSD_INTEGER),
+        )
+        connective = And if rng.random() < 0.5 else Or
+        return connective((comparison, other))
+    return comparison
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def serialize_query(query: SelectQuery) -> str:
+    """Render a fuzzing-fragment query as SPARQL text.
+
+    The output round-trips: ``parse_sparql(serialize_query(q)) == q`` for
+    every query the generator emits (the differential runner asserts this).
+    """
+    if query.is_union or query.optional_groups or query.aggregates:
+        raise ValueError("serialize_query covers the fuzzing BGP fragment only")
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.extend(str(v) for v in query.variables)
+    body = [str(pattern) for pattern in query.patterns]
+    body.extend(_serialize_filter(f) for f in query.filters)
+    parts.append("WHERE { " + " . ".join(body) + " }")
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def _serialize_filter(expression: FilterExpression) -> str:
+    return f"FILTER({_serialize_expression(expression)})"
+
+
+def _serialize_expression(expression: FilterExpression) -> str:
+    if isinstance(expression, Comparison):
+        return (
+            f"{_serialize_operand(expression.left)} {expression.op} "
+            f"{_serialize_operand(expression.right)}"
+        )
+    if isinstance(expression, Regex):
+        return f'regex({expression.variable}, "{expression.pattern}")'
+    if isinstance(expression, And):
+        return " && ".join(
+            f"({_serialize_expression(op)})" for op in expression.operands
+        )
+    if isinstance(expression, Or):
+        return " || ".join(
+            f"({_serialize_expression(op)})" for op in expression.operands
+        )
+    raise ValueError(f"unsupported filter expression {expression!r}")
+
+
+def _serialize_operand(slot: PatternTerm) -> str:
+    if isinstance(slot, Variable):
+        return str(slot)
+    return slot.n3()

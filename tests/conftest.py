@@ -4,6 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fuzz-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the extended differential fuzz test for N random seeds "
+        "(default: skipped; REPRO_FUZZ_ITERATIONS works too, and "
+        "REPRO_FUZZ_SEED picks the base seed)",
+    )
+
 from repro.core import ProstEngine
 from repro.rdf import Graph
 from repro.rdf.reference import ReferenceEvaluator

@@ -1,0 +1,64 @@
+"""Graph iteration order must not depend on Python's hash randomization.
+
+``Graph`` stores triples in dicts (insertion-ordered) rather than sets
+precisely so that every load pipeline sees the same triple sequence in every
+process. These tests pin that: in-process the order is the insertion order,
+and across processes with different ``PYTHONHASHSEED`` values the full
+fuzz-pipeline output is byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.rdf import Graph
+from repro.rdf.terms import IRI, Triple
+
+
+def test_iteration_follows_insertion_order():
+    triples = [
+        Triple(IRI(f"http://ex/s{i}"), IRI(f"http://ex/p{i % 3}"), IRI(f"http://ex/o{i}"))
+        for i in range(25)
+    ]
+    graph = Graph(triples)
+    assert list(graph) == triples
+
+
+_PROBE = """
+import random
+from repro.testing import DifferentialRunner, serialize_query
+from repro.testing.oracle import BruteForceOracle
+
+runner = DifferentialRunner(queries_per_graph=4)
+graph, queries = runner.generate_case(7)
+print(graph.to_ntriples())
+for triple in graph:  # raw iteration order, not the sorted serialization
+    print(triple.subject.n3(), triple.predicate.n3(), triple.object.n3())
+oracle = BruteForceOracle(graph)
+for query in queries:
+    print(serialize_query(query))
+    for row in oracle.evaluate(query):
+        print([None if t is None else t.n3() for t in row])
+"""
+
+
+def _run_probe(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = str(src)
+    result = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout
+
+
+def test_pipeline_output_is_hash_seed_independent():
+    assert _run_probe("1") == _run_probe("424242")

@@ -106,6 +106,39 @@ class TestBenchmark:
         assert "log-scale bars" in out and "█" in out
 
 
+class TestFuzz:
+    def test_clean_seeds_exit_zero(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 20 cases over 2 seed(s) [0..1]: OK" in out
+
+    def test_system_filter_and_verbose(self, capsys):
+        code = main(
+            [
+                "fuzz", "--seed", "3", "--iterations", "1", "--verbose",
+                "--system", "prost-mixed", "--system", "rya",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "# seed 3: ok" in captured.err
+        assert "OK" in captured.out
+
+    def test_zero_iterations_reports_empty_run(self, capsys):
+        assert main(["fuzz", "--iterations", "0"]) == 0
+        assert "0 cases over 0 seed(s): OK" in capsys.readouterr().out
+
+    def test_unknown_system_rejected(self, capsys):
+        assert main(["fuzz", "--iterations", "1", "--system", "virtuoso"]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_env_variables_override_defaults(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_SEED", "11")
+        monkeypatch.setenv("REPRO_FUZZ_ITERATIONS", "1")
+        assert main(["fuzz"]) == 0
+        assert "1 seed(s) [11..11]" in capsys.readouterr().out
+
+
 class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
