@@ -19,7 +19,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..core.encoding import decode_term, encode_term
+from ..core.encoding import (
+    cell_for_text,
+    cell_text,
+    decode_term,
+    encode_term,
+    encode_term_text,
+)
 from ..core.loader import LoadReport
 from ..core.prost import _apply_modifiers
 from ..core.results import QueryExecutionReport, ResultSet
@@ -92,10 +98,12 @@ class Rya:
             if not self.store.has_table(table):
                 self.store.create_table(table)
         for triple in graph:
+            # Index keys are lexical: Accumulo's sorted range scans depend on
+            # the N-Triples byte order, and key bytes are the size measurement.
             parts = (
-                encode_term(triple.subject),
-                encode_term(triple.predicate),
-                encode_term(triple.object),
+                encode_term_text(triple.subject),
+                encode_term_text(triple.predicate),
+                encode_term_text(triple.object),
             )
             for table, order in INDEXES.items():
                 key = _SEP.join(parts[i] for i in order)
@@ -228,9 +236,10 @@ class Rya:
             slots = []
             for slot in (pattern.subject, pattern.predicate, pattern.object):
                 if isinstance(slot, Variable):
-                    slots.append(binding.get(slot.name))
+                    bound = binding.get(slot.name)
+                    slots.append(None if bound is None else cell_text(bound))
                 else:
-                    slots.append(encode_term(slot))
+                    slots.append(encode_term_text(slot))
             table, prefix_parts = _best_index(slots)
             prefix = _SEP.join(prefix_parts)
             if prefix:
@@ -278,16 +287,19 @@ def _best_index(slots: list[str | None]) -> tuple[str, list[str]]:
 def _unify(
     pattern: TriplePattern, triple_parts: list[str], binding: dict[str, str]
 ) -> dict[str, str] | None:
+    """Extend a binding with one scanned key, interning components so the
+    runtime bindings compare and hash as dictionary IDs."""
     result = dict(binding)
     for slot, value in zip(
         (pattern.subject, pattern.predicate, pattern.object), triple_parts
     ):
+        cell = cell_for_text(value)
         if isinstance(slot, Variable):
             existing = result.get(slot.name)
             if existing is None:
-                result[slot.name] = value
-            elif existing != value:
+                result[slot.name] = cell
+            elif existing != cell:
                 return None
-        elif encode_term(slot) != value:
+        elif encode_term(slot) != cell:
             return None
     return result

@@ -17,7 +17,7 @@ import time
 import zlib
 
 from ..columnar.schema import ColumnSchema, TableSchema
-from ..core.encoding import decode_row, encode_term
+from ..core.encoding import cell_for_text, decode_row, encode_term, encode_term_text
 from ..core.filters import SparqlCondition
 from ..core.loader import LoadReport, estimate_load_seconds
 from ..core.naming import assign_names
@@ -69,15 +69,18 @@ class SparqlGx:
         names = assign_names([p.value for p in graph.predicates])
         text_bytes = 0
         for predicate in graph.predicates:
-            rows = [
-                (encode_term(t.subject), encode_term(t.object))
-                for t in graph.triples_with_predicate(predicate)
+            pairs = [
+                (t.subject, t.object) for t in graph.triples_with_predicate(predicate)
             ]
+            rows = [(encode_term(s), encode_term(o)) for s, o in pairs]
             # The text file on HDFS is the system of record (and the size
-            # measurement); the catalog serves the same rows to scans.
+            # measurement), so it always stores the lexical N-Triples form;
+            # the catalog serves the dictionary-encoded rows to scans.
             # SPARQLGX stores its triple files through HDFS's deflate codec,
             # which is where its small Table 1 footprint comes from.
-            text = "".join(f"{s}\t{o}\n" for s, o in rows)
+            text = "".join(
+                f"{encode_term_text(s)}\t{encode_term_text(o)}\n" for s, o in pairs
+            )
             payload = zlib.compress(text.encode("utf-8"), level=6)
             text_bytes += len(payload)
             path = f"/sparqlgx/vp/{names[predicate.value]}.txt"
@@ -210,18 +213,20 @@ class SparqlGxDirect:
     def load(self, graph: Graph) -> LoadReport:
         """Copy the triple file to HDFS; no transformation, no statistics."""
         started = time.perf_counter()
-        rows = [
+        # The copied file keeps the lexical, lexicographically sorted form;
+        # the catalog rows carry the dictionary-encoded cells in file order.
+        text_rows = sorted(
             (
-                encode_term(triple.subject),
-                encode_term(triple.predicate),
-                encode_term(triple.object),
+                encode_term_text(triple.subject),
+                encode_term_text(triple.predicate),
+                encode_term_text(triple.object),
             )
             for triple in graph
-        ]
-        rows.sort()
-        text = "".join(f"{s} {p} {o} .\n" for s, p, o in rows)
+        )
+        text = "".join(f"{s} {p} {o} .\n" for s, p, o in text_rows)
         payload = text.encode("utf-8")
         self.session.hdfs.write("/sparqlgx-sde/triples.nt", payload, overwrite=True)
+        rows = [tuple(cell_for_text(part) for part in row) for row in text_rows]
         self.session.register_rows("sde_triples", self._SCHEMA, rows, replace=True)
         config = self.session.config
         report = LoadReport(

@@ -1,0 +1,132 @@
+"""Wall-clock microbenchmark: the strings-vs-IDs ablation.
+
+Unlike the paper-reproduction harness (``harness.py``), which reports
+*simulated* cluster seconds, this benchmark measures real wall-clock time
+of this process: load a WatDiv graph into PRoST (mixed strategy) and run
+the join-heavy query mix (star, snowflake, and complex groups) twice —
+once with the legacy string cells and once with dictionary term IDs —
+then report the speedup. Results land in ``BENCH_engine.json`` at the
+repository root so the perf trajectory is tracked PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..core.prost import ProstEngine
+from ..rdf.dictionary import default_dictionary, term_ids
+from ..watdiv.generator import generate_watdiv
+from ..watdiv.queries import basic_query_set
+
+#: Star (S), snowflake (F), and complex (C) groups: every query joins; the
+#: linear (L) group is dominated by single-pattern point lookups.
+JOIN_HEAVY_GROUPS = ("C", "F", "S")
+
+
+@dataclass
+class ModeResult:
+    """Wall-clock measurements for one cell representation."""
+
+    mode: str
+    load_sec: float
+    query_sec: float
+    per_query_sec: dict[str, float] = field(default_factory=dict)
+    rows_returned: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "load_sec": round(self.load_sec, 4),
+            "query_sec": round(self.query_sec, 4),
+            "rows_returned": self.rows_returned,
+            "per_query_sec": {
+                name: round(sec, 4) for name, sec in self.per_query_sec.items()
+            },
+        }
+
+
+def _run_mode(mode: str, dataset, queries, repeats: int) -> ModeResult:
+    """Load and run the query mix with cells in the given representation."""
+    with term_ids(mode == "ids"):
+        # A fresh ID space per mode keeps the two runs independent.
+        default_dictionary().clear()
+        engine = ProstEngine()
+        started = time.perf_counter()
+        engine.load(dataset.graph)
+        load_sec = time.perf_counter() - started
+
+        per_query: dict[str, float] = {}
+        rows_returned = 0
+        for query in queries:
+            samples = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = engine.sparql(query.text)
+                samples.append(time.perf_counter() - started)
+            rows_returned += len(result)
+            # Median sample: robust against scheduler noise either way.
+            per_query[query.name] = statistics.median(samples)
+        return ModeResult(
+            mode=mode,
+            load_sec=load_sec,
+            query_sec=sum(per_query.values()),
+            per_query_sec=per_query,
+            rows_returned=rows_returned,
+        )
+
+
+def run_quick_bench(
+    scale: int = 2000,
+    seed: int = 7,
+    repeats: int = 5,
+    groups: tuple[str, ...] = JOIN_HEAVY_GROUPS,
+) -> dict:
+    """The ``prost-repro bench --quick`` payload (see module docstring)."""
+    dataset = generate_watdiv(scale=scale, seed=seed)
+    queries = [q for q in basic_query_set(dataset) if q.group in groups]
+    strings = _run_mode("strings", dataset, queries, repeats)
+    ids = _run_mode("ids", dataset, queries, repeats)
+    speedup = strings.query_sec / ids.query_sec if ids.query_sec > 0 else float("inf")
+    return {
+        "benchmark": "quick",
+        "description": (
+            "PRoST mixed-strategy wall clock on the join-heavy WatDiv mix "
+            "(groups %s): string cells vs dictionary term IDs" % "/".join(groups)
+        ),
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "triples": len(dataset.graph),
+        "queries": [q.name for q in queries],
+        "modes": {
+            "strings": strings.to_dict(),
+            "ids": ids.to_dict(),
+        },
+        "query_speedup": round(speedup, 2),
+        "load_speedup": round(
+            strings.load_sec / ids.load_sec if ids.load_sec > 0 else float("inf"), 2
+        ),
+    }
+
+
+def write_bench_json(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def render_quick_bench(payload: dict) -> str:
+    """A terminal summary of the ablation."""
+    strings = payload["modes"]["strings"]
+    ids = payload["modes"]["ids"]
+    lines = [
+        f"quick bench: scale={payload['scale']} "
+        f"({payload['triples']:,} triples), "
+        f"{len(payload['queries'])} join-heavy queries × {payload['repeats']} runs",
+        f"  strings: load {strings['load_sec']:.2f}s  queries {strings['query_sec']:.3f}s",
+        f"  ids:     load {ids['load_sec']:.2f}s  queries {ids['query_sec']:.3f}s",
+        f"  query speedup (strings → ids): {payload['query_speedup']:.2f}x",
+    ]
+    return "\n".join(lines)

@@ -1,6 +1,13 @@
 """PRoST core: loaders, Join Tree, translator, executor, and the facade."""
 
-from .encoding import decode_row, decode_term, encode_term
+from .encoding import (
+    cell_for_text,
+    cell_text,
+    decode_row,
+    decode_term,
+    encode_term,
+    encode_term_text,
+)
 from .executor import JoinTreeExecutor
 from .filters import SparqlCondition
 from .join_tree import JoinTree, JoinTreeNode, ObjectPtNode, PtNode, VpNode
@@ -36,9 +43,12 @@ __all__ = [
     "VpNode",
     "VpTableInfo",
     "assign_names",
+    "cell_for_text",
+    "cell_text",
     "decode_row",
     "decode_term",
     "encode_term",
+    "encode_term_text",
     "load_object_property_table",
     "load_property_table",
     "load_prost_store",

@@ -1,35 +1,82 @@
-"""Term ↔ cell-string encoding shared by all stores.
+"""Term ↔ cell encoding shared by all stores.
 
-Every relational table in this repository stores RDF terms as their
-N-Triples serialization (``<iri>``, ``"literal"^^<dt>``, ``_:b0``). The
-encoding is injective, so joins on encoded strings are joins on terms, and
-it is reversible, so result rows decode back to term objects.
+Runtime tables store RDF terms as dense integer :class:`TermId` cells
+assigned by the global term dictionary (``rdf/dictionary.py``), so joins,
+DISTINCT sets, and equality filters work on small ints. The encoding is
+injective — equal IDs are equal terms — and reversible: result rows decode
+back to term objects only at the emission boundary, via a memoized O(1)
+dictionary lookup.
+
+With ID execution disabled (the strings ablation, ``REPRO_TERM_IDS=0``)
+cells fall back to the legacy N-Triples serialization (``<iri>``,
+``"literal"^^<dt>``, ``_:b0``) and decoding reparses the text. Persisted
+artifacts always store the lexical form either way; see
+:func:`repro.rdf.dictionary.storage_row`.
 """
 
 from __future__ import annotations
 
+from ..rdf.dictionary import TERM_ID_BASE, TermId, default_dictionary, ids_enabled
 from ..rdf.ntriples import parse_term
 from ..rdf.terms import XSD_INTEGER, Literal, Term
 
 
-def encode_term(term: Term) -> str:
-    """Encode a term for storage in a table cell."""
+def encode_term(term: Term) -> TermId | str:
+    """Encode a term for storage in a table cell.
+
+    Returns the interned :class:`TermId` (or, in the strings ablation, the
+    N-Triples text). Query constants go through here too, so a constant
+    always compares against data cells in the same representation.
+    """
+    if ids_enabled():
+        return default_dictionary().intern_term(term)
     return term.n3()
 
 
-def decode_term(cell: str | int | None) -> Term | None:
+def encode_term_text(term: Term) -> str:
+    """The lexical (N-Triples) encoding, regardless of the ID mode.
+
+    This is what persisted artifacts store: columnar files, SPARQLGX's
+    plain-text VP files, and Rya's sorted index keys.
+    """
+    return term.n3()
+
+
+def decode_term(cell: TermId | str | int | None) -> Term | None:
     """Decode a table cell back to a term (``None`` passes through).
 
-    Integer cells (produced by the engine's COUNT aggregates) decode to
-    ``xsd:integer`` literals.
+    Term-ID cells (ints at or above :data:`TERM_ID_BASE`) resolve through
+    the dictionary's memoized term cache. Integers below the base are
+    engine-produced COUNT values and decode to ``xsd:integer`` literals.
+    String cells parse their N-Triples text — memoized through the
+    dictionary when ID execution is on, so baselines that carry lexical
+    cells (Rya's index keys) decode at amortized O(1).
     """
     if cell is None:
         return None
     if isinstance(cell, int):
+        if cell >= TERM_ID_BASE:
+            return default_dictionary().term_of(cell)
         return Literal(str(cell), datatype=XSD_INTEGER)
+    if ids_enabled():
+        return default_dictionary().term_for_text(cell)
     return parse_term(cell)
 
 
 def decode_row(row: tuple) -> tuple[Term | None, ...]:
     """Decode a whole result row of encoded cells."""
-    return tuple(decode_term(cell) for cell in row)
+    return tuple([decode_term(cell) for cell in row])
+
+
+def cell_for_text(text: str) -> TermId | str:
+    """A runtime cell for already-encoded text (interned in ID mode)."""
+    if ids_enabled():
+        return default_dictionary().intern_text(text)
+    return text
+
+
+def cell_text(cell: TermId | str) -> str:
+    """The lexical encoding behind a runtime cell (inverse of the above)."""
+    if isinstance(cell, int):
+        return default_dictionary().text_of(cell)
+    return cell

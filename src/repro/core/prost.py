@@ -19,10 +19,12 @@ from ..engine.cluster import ClusterConfig, SimulatedCluster
 from ..engine.dataframe import DataFrame
 from ..engine.session import EngineSession
 from ..errors import LoaderError, UnsupportedSparqlError
+from ..rdf.dictionary import TERM_ID_BASE, default_dictionary, ids_enabled
 from ..rdf.graph import Graph
+from ..rdf.terms import term_sort_key
 from ..sparql.algebra import SelectQuery
 from ..sparql.parser import parse_sparql
-from .encoding import decode_row
+from .encoding import decode_row, decode_term
 from .executor import JoinTreeExecutor
 from .filters import SparqlCondition
 from .join_tree import JoinTree
@@ -187,8 +189,15 @@ class ProstEngine:
         started = time.perf_counter()
         frame, tree_description = self.dataframe(parsed)
         encoded_rows, engine_report = frame.collect_with_report()
-        rows = [decode_row(row) for row in encoded_rows]
-        rows = _apply_modifiers(parsed, rows)
+        if ids_enabled():
+            # Order (and OFFSET/LIMIT-slice) the *encoded* rows first: the
+            # dictionary memoizes one sort key per ID, and rows dropped by
+            # LIMIT are never decoded at all.
+            encoded_rows = _apply_modifiers_encoded(parsed, encoded_rows)
+            rows = [decode_row(row) for row in encoded_rows]
+        else:
+            rows = [decode_row(row) for row in encoded_rows]
+            rows = _apply_modifiers(parsed, rows)
         wall = time.perf_counter() - started
         report = QueryExecutionReport(
             simulated_sec=engine_report.simulated_sec,
@@ -232,6 +241,42 @@ def _apply_modifiers(
             )
     else:
         rows.sort(key=solution_sort_key)
+    if query.offset:
+        rows = rows[query.offset :]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _apply_modifiers_encoded(
+    query: SelectQuery, rows: list[tuple]
+) -> list[tuple]:
+    """The encoded-row twin of :func:`_apply_modifiers`.
+
+    Produces the same final ordering (dictionary sort keys are exactly the
+    decoded terms' :func:`term_sort_key`), so both paths emit identical
+    result sets — the differential fuzz suite holds them to that.
+    """
+    sort_key_of = default_dictionary().sort_key_of
+    base = TERM_ID_BASE
+
+    def cell_key(cell) -> tuple:
+        if type(cell) is int and cell >= base:
+            return sort_key_of(cell)
+        if cell is None:
+            return (-1, "")
+        return term_sort_key(decode_term(cell))
+
+    projection = list(query.projection)
+    if query.order_by:
+        for condition in reversed(query.order_by):
+            position = projection.index(condition.variable)
+            rows.sort(
+                key=lambda row: cell_key(row[position]),
+                reverse=condition.descending,
+            )
+    else:
+        rows.sort(key=lambda row: [cell_key(cell) for cell in row])
     if query.offset:
         rows = rows[query.offset :]
     if query.limit is not None:

@@ -73,6 +73,6 @@ class ResultSet:
 
 def solution_sort_key(row: tuple[Term | None, ...]):
     """Deterministic ordering for solution rows (NULLs first)."""
-    return tuple(
+    return [
         (-1, "") if term is None else term_sort_key(term) for term in row
-    )
+    ]

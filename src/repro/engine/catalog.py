@@ -7,7 +7,7 @@ Loaders register tables here; scans resolve them by name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..columnar.schema import TableSchema
 from ..columnar.table_file import FileStatistics
@@ -25,12 +25,16 @@ class StoredTable:
         file_stats: statistics of the backing columnar file, when the table
             was persisted; drives byte-accurate scan costs and Table 1 sizes.
         hdfs_path: backing file location, when persisted.
+        pruned_cache: memoized column-pruned projections of ``data``, keyed
+            by the projected column tuple; catalog tables are immutable once
+            registered, so repeated scans can share them.
     """
 
     name: str
     data: PartitionedData
     file_stats: FileStatistics | None = None
     hdfs_path: str | None = None
+    pruned_cache: dict = field(default_factory=dict, repr=False)
 
     @property
     def schema(self) -> TableSchema:

@@ -10,10 +10,12 @@ joins.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from ..columnar.schema import TableSchema
 from ..errors import PlanError
+from ..rdf.dictionary import TERM_ID_BASE, default_dictionary
 
 
 @dataclass(frozen=True)
@@ -27,18 +29,33 @@ class HashPartitioner:
         return stable_hash(key) % self.num_partitions
 
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix_int(value: int) -> int:
+    """splitmix64 finalizer: scatters dense term IDs across partitions."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
 def stable_hash(key: tuple) -> int:
     """Deterministic, process-independent hash for partitioning.
 
-    Python's builtin ``hash`` on strings is salted per process; a stable
-    polynomial hash keeps partition layouts reproducible across runs.
+    Python's builtin ``hash`` on strings is salted per process, so strings
+    go through ``zlib.crc32`` (C speed, stable across runs and machines)
+    and integers — notably dictionary term IDs, which are dense and would
+    otherwise land in consecutive partitions — through a splitmix64 mix.
     """
     value = 0
     for part in key:
-        text = part if isinstance(part, str) else repr(part)
-        h = 2166136261
-        for ch in text.encode("utf-8", "surrogatepass"):
-            h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+        if isinstance(part, int):
+            h = _mix_int(part)
+        elif isinstance(part, str):
+            h = zlib.crc32(part.encode("utf-8", "surrogatepass"))
+        else:
+            h = zlib.crc32(repr(part).encode("utf-8", "surrogatepass"))
         value = (value * 31 + h) & 0x7FFFFFFFFFFFFFFF
     return value
 
@@ -61,6 +78,10 @@ class PartitionedData:
         self.schema = schema
         self.partitions = partitions
         self.partitioner = partitioner
+        # Partitions are immutable after construction (operators always
+        # build fresh partition lists), so sizing is computed once.
+        self._num_rows: int | None = None
+        self._estimated_bytes: int | None = None
 
     @property
     def num_partitions(self) -> int:
@@ -68,7 +89,9 @@ class PartitionedData:
 
     @property
     def num_rows(self) -> int:
-        return sum(len(partition) for partition in self.partitions)
+        if self._num_rows is None:
+            self._num_rows = sum(len(partition) for partition in self.partitions)
+        return self._num_rows
 
     def all_rows(self) -> list[tuple]:
         """Gather every row (driver-side collect)."""
@@ -82,22 +105,48 @@ class PartitionedData:
         return self.partitioner is not None and self.partitioner.columns == columns
 
     def estimated_bytes(self) -> int:
-        """Rough in-flight size: what a shuffle of this dataset would move."""
-        return sum(estimate_row_bytes(row) for partition in self.partitions for row in partition)
+        """Rough in-flight size: what a shuffle of this dataset would move.
+
+        Memoized — the join planner consults both sides of every join, and
+        without the cache each consultation re-walked every cell.
+        """
+        if self._estimated_bytes is None:
+            total = 0
+            for partition in self.partitions:
+                for row in partition:
+                    total += estimate_row_bytes(row)
+            self._estimated_bytes = total
+        return self._estimated_bytes
 
 
 def estimate_row_bytes(row: tuple) -> int:
-    """Approximate serialized size of one row (shuffle accounting)."""
+    """Approximate serialized size of one row (shuffle accounting).
+
+    Dictionary term IDs are charged at their *decoded* serialization length
+    — what the emulated cluster would actually move — so the cost model's
+    shuffle totals and broadcast-vs-shuffle decisions match string-cell
+    execution exactly (the paper figures must not change because cells got
+    smaller in this process).
+    """
+    lengths = default_dictionary().decoded_lengths
     total = 8  # framing
     for value in row:
-        if value is None:
+        if type(value) is int:
+            # Term IDs charge their decoded text; sub-base ints are counts.
+            total += lengths[value - TERM_ID_BASE] + 4 if value >= TERM_ID_BASE else 8
+        elif value is None:
             total += 1
         elif isinstance(value, str):
             total += len(value) + 4
         elif isinstance(value, (list, tuple)):
             total += 4
             for element in value:
-                total += (len(element) + 4) if isinstance(element, str) else 8
+                if type(element) is int and element >= TERM_ID_BASE:
+                    total += lengths[element - TERM_ID_BASE] + 4
+                elif isinstance(element, str):
+                    total += len(element) + 4
+                else:
+                    total += 8
         else:
             total += 8
     return total
@@ -110,6 +159,24 @@ def repartition_by_key(
 ) -> list[list[tuple]]:
     """Hash-repartition rows by the given key columns (the shuffle write)."""
     output: list[list[tuple]] = [[] for _ in range(partitioner.num_partitions)]
+    num_partitions = partitioner.num_partitions
+    if len(key_indexes) == 1:
+        # Single-key shuffles dominate SPARQL joins; hash the bare cell with
+        # the same per-part mixing as ``stable_hash`` (a one-element key is
+        # just its part's hash masked to 63 bits), skipping the key tuple.
+        index = key_indexes[0]
+        crc32 = zlib.crc32
+        for partition in rows_by_partition:
+            for row in partition:
+                part = row[index]
+                if isinstance(part, int):
+                    h = _mix_int(part) & 0x7FFFFFFFFFFFFFFF
+                elif isinstance(part, str):
+                    h = crc32(part.encode("utf-8", "surrogatepass"))
+                else:
+                    h = crc32(repr(part).encode("utf-8", "surrogatepass"))
+                output[h % num_partitions].append(row)
+        return output
     for partition in rows_by_partition:
         for row in partition:
             key = tuple(row[i] for i in key_indexes)

@@ -16,9 +16,12 @@ runtime sizes in hand, mirroring Spark's adaptive behaviour:
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from ..errors import ExecutionError, PlanError
 from .catalog import Catalog
 from .cluster import ClusterConfig, ExecutionMetrics
+from .expressions import ColumnRef
 from .data import (
     HashPartitioner,
     PartitionedData,
@@ -96,15 +99,26 @@ class PhysicalExecutor:
         )
         if columns is None:
             return table.data
+        # Pruned projections are cached per table: repeated queries re-scan
+        # the same column subsets, and partitions are immutable (the
+        # engine-side analogue of Parquet serving materialized column
+        # chunks).
+        cached = table.pruned_cache.get(columns)
+        if cached is not None:
+            return cached
         indexes = [table.schema.index_of(name) for name in columns]
+        getter = _row_getter(indexes)
         partitions = [
-            [tuple(row[i] for i in indexes) for row in partition]
-            for partition in table.data.partitions
+            [getter(row) for row in partition] for partition in table.data.partitions
         ]
         partitioner = table.data.partitioner
         if partitioner is not None and not set(partitioner.columns) <= set(columns):
             partitioner = None
-        return PartitionedData(table.schema.select(list(columns)), partitions, partitioner)
+        pruned = PartitionedData(
+            table.schema.select(list(columns)), partitions, partitioner
+        )
+        table.pruned_cache[columns] = pruned
+        return pruned
 
     def _local(self, plan: InMemoryRelation, metrics: ExecutionMetrics) -> PartitionedData:
         metrics.record_stage(tasks=1, note=f"LocalRelation {plan.label}")
@@ -125,12 +139,20 @@ class PhysicalExecutor:
 
     def _project(self, plan: Project, metrics: ExecutionMetrics) -> PartitionedData:
         child = self._run(plan.child, metrics)
-        bound = [expression.bind(child.schema) for _, expression in plan.outputs]
         metrics.narrow_rows_processed += child.num_rows
         metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
-        partitions = [
-            [tuple(fn(row) for fn in bound) for row in part] for part in child.partitions
-        ]
+        # Pure column shuffles (the overwhelmingly common projection) run as
+        # one C-level itemgetter per row instead of N bound-lambda calls.
+        if all(isinstance(expr, ColumnRef) for _, expr in plan.outputs):
+            indexes = [child.schema.index_of(expr.name) for _, expr in plan.outputs]
+            getter = _row_getter(indexes)
+            partitions = [[getter(row) for row in part] for part in child.partitions]
+        else:
+            bound = [expression.bind(child.schema) for _, expression in plan.outputs]
+            partitions = [
+                [tuple(fn(row) for fn in bound) for row in part]
+                for part in child.partitions
+            ]
         partitioner = _project_partitioner(plan, child.partitioner)
         return PartitionedData(plan.schema, partitions, partitioner)
 
@@ -140,20 +162,24 @@ class PhysicalExecutor:
         metrics.narrow_rows_processed += child.num_rows
         metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
         partitions: list[list[tuple]] = []
+        after = index + 1
         for part in child.partitions:
             out: list[tuple] = []
             for row in part:
                 values = row[index]
                 if not values:
                     continue
+                if len(values) == 1:
+                    out.append(row[:index] + (values[0],) + row[after:])
+                    continue
+                prefix = row[:index]
+                suffix = row[after:]
                 for value in values:
-                    out.append(row[:index] + (value,) + row[index + 1 :])
+                    out.append(prefix + (value,) + suffix)
             partitions.append(out)
         partitioner = child.partitioner
         if partitioner is not None and plan.column in partitioner.columns:
             partitioner = None
-        if partitioner is not None and plan.output_name and plan.output_name != plan.column:
-            pass  # key columns unchanged: renaming a non-key column is fine
         return PartitionedData(plan.schema, partitions, partitioner)
 
     # -- joins ---------------------------------------------------------------------
@@ -430,6 +456,17 @@ class PhysicalExecutor:
         return PartitionedData(plan.schema, partitions)
 
 
+def _row_getter(indexes: list[int]):
+    """A row → tuple-of-cells projection (C-level for two or more columns;
+    ``itemgetter`` with one index returns a bare cell, so wrap that case)."""
+    if not indexes:
+        return lambda row: ()
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda row: (row[index],)
+    return itemgetter(*indexes)
+
+
 def _hash_join_partition(
     left_rows: list[tuple],
     right_rows: list[tuple],
@@ -439,13 +476,51 @@ def _hash_join_partition(
     how: str,
 ) -> list[tuple]:
     """Classic build/probe hash join of one partition pair."""
-    build: dict[tuple, list[tuple]] = {}
+    build: dict = {}
+    output: list[tuple] = []
+    if len(left_key_idx) == 1:
+        # Single-key joins (every SPARQL variable join) build and probe on
+        # the bare cell: no per-row key tuples, and dictionary term IDs
+        # hash as native ints. NULL never enters ``build``, so a NULL probe
+        # key falls out of ``build.get`` with the right SQL semantics.
+        li, ri = left_key_idx[0], right_key_idx[0]
+        build_get = build.get
+        for row in right_rows:
+            key = row[ri]
+            if key is not None:
+                bucket = build_get(key)
+                if bucket is None:
+                    build[key] = [row]
+                else:
+                    bucket.append(row)
+        keep = _row_getter(right_keep_idx)
+        if how == "inner":
+            for row in left_rows:
+                matches = build.get(row[li])
+                if matches:
+                    for match in matches:
+                        output.append(row + keep(match))
+            return output
+        if how == "left":
+            nulls = (None,) * len(right_keep_idx)
+            for row in left_rows:
+                matches = build.get(row[li])
+                if matches:
+                    for match in matches:
+                        output.append(row + keep(match))
+                else:
+                    output.append(row + nulls)
+            return output
+        if how == "semi":
+            return [row for row in left_rows if build.get(row[li])]
+        if how == "anti":
+            return [row for row in left_rows if not build.get(row[li])]
+        raise ExecutionError(f"unsupported join type {how!r}")
     for row in right_rows:
         key = tuple(row[i] for i in right_key_idx)
         if any(part is None for part in key):
             continue  # SQL semantics: NULL keys never match
         build.setdefault(key, []).append(row)
-    output: list[tuple] = []
     for row in left_rows:
         key = tuple(row[i] for i in left_key_idx)
         if any(part is None for part in key):

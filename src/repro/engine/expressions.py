@@ -150,6 +150,20 @@ class BinaryComparison(Expression):
         return self.left.references() | self.right.references()
 
     def bind(self, schema: TableSchema) -> BoundExpression:
+        # Equality is the hot filter (every pattern constant compiles to
+        # one); `==` between cells never raises, and a non-NULL constant
+        # can never equal a NULL cell, so the guards fold away.
+        if self.op == "=":
+            if isinstance(self.left, ColumnRef) and isinstance(self.right, LiteralValue):
+                if self.right.value is not None:
+                    index = schema.index_of(self.left.name)
+                    value = self.right.value
+                    return lambda row: row[index] == value
+            elif isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef):
+                i = schema.index_of(self.left.name)
+                j = schema.index_of(self.right.name)
+                return lambda row: row[i] == row[j] and row[i] is not None
+
         compare = _COMPARATORS[self.op]
         left = self.left.bind(schema)
         right = self.right.bind(schema)
@@ -191,9 +205,40 @@ class BooleanOp(Expression):
 
     def bind(self, schema: TableSchema) -> BoundExpression:
         bound = [operand.bind(schema) for operand in self.operands]
+        # Conjunctions of two or three predicates are the common compiled
+        # filter shape; `and`/`or` short-circuit without the generator
+        # machinery that `all()`/`any()` would spin up per row.
+        if len(bound) == 1:
+            return bound[0]
         if self.op == "and":
-            return lambda row: all(fn(row) for fn in bound)
-        return lambda row: any(fn(row) for fn in bound)
+            if len(bound) == 2:
+                first, second = bound
+                return lambda row: first(row) and second(row)
+            if len(bound) == 3:
+                first, second, third = bound
+                return lambda row: first(row) and second(row) and third(row)
+
+            def conjunction(row):
+                for fn in bound:
+                    if not fn(row):
+                        return False
+                return True
+
+            return conjunction
+        if len(bound) == 2:
+            first, second = bound
+            return lambda row: first(row) or second(row)
+        if len(bound) == 3:
+            first, second, third = bound
+            return lambda row: first(row) or second(row) or third(row)
+
+        def disjunction(row):
+            for fn in bound:
+                if fn(row):
+                    return True
+            return False
+
+        return disjunction
 
     def describe(self) -> str:
         joiner = f" {self.op.upper()} "
@@ -227,6 +272,9 @@ class NotNull(Expression):
         return self.operand.references()
 
     def bind(self, schema: TableSchema) -> BoundExpression:
+        if isinstance(self.operand, ColumnRef):
+            index = schema.index_of(self.operand.name)
+            return lambda row: row[index] is not None
         inner = self.operand.bind(schema)
         return lambda row: inner(row) is not None
 

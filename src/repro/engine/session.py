@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from ..columnar.schema import TableSchema
 from ..columnar.table_file import FileStatistics, write_table
 from ..hdfs.filesystem import SimulatedHdfs
+from ..rdf.dictionary import storage_row
 from .catalog import Catalog, StoredTable
 from .cluster import ClusterConfig, CostBreakdown, ExecutionMetrics, SimulatedCluster
 from .data import PartitionedData, partition_by_hash, partition_evenly
@@ -97,8 +98,16 @@ class EngineSession:
             kwargs = {"compress_pages": compress_pages}
             if allowed_encodings is not None:
                 kwargs["allowed_encodings"] = allowed_encodings
+            # Persisted files are the lexical system of record: dictionary
+            # term IDs decode back to their N-Triples text at this boundary,
+            # so storage footprints match string-cell execution exactly.
             file_stats = write_table(
-                self.hdfs, persist_path, schema, rows, overwrite=replace, **kwargs
+                self.hdfs,
+                persist_path,
+                schema,
+                [storage_row(row) for row in rows],
+                overwrite=replace,
+                **kwargs,
             )
         table = StoredTable(
             name=name, data=data, file_stats=file_stats, hdfs_path=persist_path

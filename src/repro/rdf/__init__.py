@@ -1,5 +1,15 @@
 """RDF data model: terms, triples, N-Triples I/O, graphs, and statistics."""
 
+from .dictionary import (
+    TERM_ID_BASE,
+    TermDictionary,
+    TermId,
+    default_dictionary,
+    ids_enabled,
+    is_term_id,
+    set_ids_enabled,
+    term_ids,
+)
 from .graph import Graph
 from .ntriples import (
     parse_ntriples,
@@ -29,6 +39,8 @@ from .terms import (
 __all__ = [
     "IRI",
     "RDF_TYPE",
+    "TERM_ID_BASE",
+    "is_term_id",
     "BlankNode",
     "Graph",
     "GraphStatistics",
@@ -36,8 +48,14 @@ __all__ = [
     "PredicateStatistics",
     "SubjectTerm",
     "Term",
+    "TermDictionary",
+    "TermId",
     "Triple",
     "collect_statistics",
+    "default_dictionary",
+    "ids_enabled",
+    "set_ids_enabled",
+    "term_ids",
     "load_statistics",
     "save_statistics",
     "statistics_from_json",

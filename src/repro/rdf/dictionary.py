@@ -1,0 +1,218 @@
+"""Global term dictionary: dense integer IDs for RDF terms.
+
+The paper's real substrate (Spark + Parquet) dictionary-encodes terms, so
+joins hash and compare small integers instead of full IRI strings. This
+module reproduces that: every distinct N-Triples serialization gets a dense
+:class:`TermId` at intern time, runtime tables carry IDs, and rows decode
+back to terms only at the emission boundary (see ``core/encoding.py``).
+
+Design points:
+
+- **IDs are plain ints, tagged by range.** Term IDs are ordinary ``int``
+  objects offset by :data:`TERM_ID_BASE`, so the decode boundary tells a
+  dictionary ID apart from an arithmetic integer produced by a COUNT
+  aggregate by *magnitude*, not by type. An ``int`` subclass would work
+  too — but CPython garbage-collection-tracks instances of heap types,
+  which defeats the collector's tuple-untracking optimization: every row
+  tuple holding a subclass instance stays on the GC's scan list, and each
+  generational collection then walks the entire loaded dataset. Plain
+  ints (like the strings they replace) are atomic to the GC, so row
+  tuples fall off the scan list after the first collection and query-time
+  allocation stays cheap no matter how much data is loaded.
+- **Decode is O(1).** The dictionary memoizes the parsed
+  :class:`~repro.rdf.terms.Term` per ID, so emitting a result row is a list
+  lookup, not an N-Triples reparse.
+- **Storage stays lexical.** Simulated on-disk artifacts (columnar files,
+  SPARQLGX text files, Rya index keys) keep the N-Triples strings —
+  :func:`storage_row` converts an ID row back at the persistence boundary —
+  so storage footprints (Table 1) and scan-cost accounting are unchanged.
+- **The ablation switch.** :func:`set_ids_enabled` flips the whole system
+  between ID cells and the legacy string cells (the ``bench --quick``
+  strings-vs-IDs ablation); ``REPRO_TERM_IDS=0`` does the same from the
+  environment.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .ntriples import parse_term
+from .terms import Term, term_sort_key
+
+__all__ = [
+    "TERM_ID_BASE",
+    "TermId",
+    "TermDictionary",
+    "default_dictionary",
+    "ids_enabled",
+    "is_term_id",
+    "set_ids_enabled",
+    "term_ids",
+    "storage_cell",
+    "storage_row",
+]
+
+#: Dense term IDs start here. Any integer cell at or above the base is a
+#: dictionary ID; anything below is an engine-produced number (a COUNT).
+#: 2**46 is unreachable as a row count yet leaves plenty of headroom below
+#: the 63-bit mask ``stable_hash`` reduces into.
+TERM_ID_BASE = 1 << 46
+
+#: Term IDs are deliberately *plain* ints (see the module docstring for
+#: why an ``int`` subclass would wreck GC behavior); the alias keeps
+#: signatures self-describing.
+TermId = int
+
+
+def is_term_id(cell) -> bool:
+    """Whether a cell is a dictionary term ID (range-tagged plain int)."""
+    return type(cell) is int and cell >= TERM_ID_BASE
+
+
+class TermDictionary:
+    """Bidirectional map between encoded terms and dense integer IDs."""
+
+    __slots__ = (
+        "_id_by_text",
+        "_text_by_id",
+        "_term_by_id",
+        "_sort_key_by_id",
+        "_len_by_id",
+    )
+
+    def __init__(self) -> None:
+        self._id_by_text: dict[str, TermId] = {}
+        self._text_by_id: list[str] = []
+        self._term_by_id: list[Term | None] = []
+        self._sort_key_by_id: list[tuple | None] = []
+        self._len_by_id: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._text_by_id)
+
+    def intern_text(self, text: str) -> TermId:
+        """The ID for an encoded term, assigning the next dense ID if new."""
+        found = self._id_by_text.get(text)
+        if found is not None:
+            return found
+        term_id = TERM_ID_BASE + len(self._text_by_id)
+        self._id_by_text[text] = term_id
+        self._text_by_id.append(text)
+        self._term_by_id.append(None)
+        self._sort_key_by_id.append(None)
+        self._len_by_id.append(len(text))
+        return term_id
+
+    def intern_term(self, term: Term) -> TermId:
+        """The ID for a term object (interns its N-Triples serialization)."""
+        return self.intern_text(term.n3())
+
+    def lookup(self, text: str) -> TermId | None:
+        """The ID for encoded text, or ``None`` when never interned."""
+        return self._id_by_text.get(text)
+
+    def text_of(self, term_id: int) -> str:
+        """The encoded N-Triples text behind an ID."""
+        return self._text_by_id[term_id - TERM_ID_BASE]
+
+    def term_of(self, term_id: int) -> Term:
+        """The parsed term behind an ID (parsed once, then memoized)."""
+        index = term_id - TERM_ID_BASE
+        term = self._term_by_id[index]
+        if term is None:
+            term = parse_term(self._text_by_id[index])
+            self._term_by_id[index] = term
+        return term
+
+    def term_for_text(self, text: str) -> Term:
+        """Parse-with-memoization for a lexical cell (interns the text)."""
+        return self.term_of(self.intern_text(text))
+
+    def sort_key_of(self, term_id: int) -> tuple:
+        """The :func:`~repro.rdf.terms.term_sort_key` of an ID's term,
+        computed once and memoized — result ordering sorts encoded rows by
+        ID without re-deriving per-term keys every query."""
+        index = term_id - TERM_ID_BASE
+        key = self._sort_key_by_id[index]
+        if key is None:
+            key = term_sort_key(self.term_of(term_id))
+            self._sort_key_by_id[index] = key
+        return key
+
+    def decoded_bytes(self, term_id: int) -> int:
+        """Size of the *decoded* serialization (cost-model accounting)."""
+        return len(self._text_by_id[term_id - TERM_ID_BASE])
+
+    @property
+    def texts(self) -> list[str]:
+        """The text table, indexed by ``term_id - TERM_ID_BASE`` (read-only;
+        hot sizing loops index it directly to skip a method call per cell)."""
+        return self._text_by_id
+
+    @property
+    def decoded_lengths(self) -> list[int]:
+        """Per-ID decoded text lengths, indexed by ``term_id -
+        TERM_ID_BASE`` (read-only; the cost model's sizing loop)."""
+        return self._len_by_id
+
+    def clear(self) -> None:
+        """Drop every entry (fresh ID space; used between bench ablations)."""
+        self._id_by_text.clear()
+        self._text_by_id.clear()
+        self._term_by_id.clear()
+        self._sort_key_by_id.clear()
+        self._len_by_id.clear()
+
+
+_DEFAULT = TermDictionary()
+
+
+def default_dictionary() -> TermDictionary:
+    """The process-wide dictionary shared by every engine and baseline."""
+    return _DEFAULT
+
+
+_ids_enabled = os.environ.get("REPRO_TERM_IDS", "1").strip().lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def ids_enabled() -> bool:
+    """Whether cells carry :class:`TermId` (default) or lexical strings."""
+    return _ids_enabled
+
+
+def set_ids_enabled(enabled: bool) -> bool:
+    """Flip ID execution on/off; returns the previous setting."""
+    global _ids_enabled
+    previous = _ids_enabled
+    _ids_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def term_ids(enabled: bool):
+    """Scoped :func:`set_ids_enabled` (tests and the bench ablation)."""
+    previous = set_ids_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_ids_enabled(previous)
+
+
+def storage_cell(cell):
+    """A cell as persisted storage sees it: IDs decode to lexical text."""
+    if type(cell) is int and cell >= TERM_ID_BASE:
+        return _DEFAULT.text_of(cell)
+    if isinstance(cell, list):
+        return [storage_cell(element) for element in cell]
+    return cell
+
+
+def storage_row(row: tuple) -> tuple:
+    """A row converted for persistence (see :func:`storage_cell`)."""
+    return tuple(storage_cell(cell) for cell in row)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import load_prost_store
+from repro.core import decode_row, decode_term, load_prost_store
 from repro.core.loader import (
     load_object_property_table,
     load_property_table,
@@ -11,6 +11,7 @@ from repro.core.loader import (
 from repro.engine import EngineSession
 from repro.errors import LoaderError
 from repro.rdf import Graph, collect_statistics
+from repro.rdf.terms import IRI, Literal
 
 
 NT = """
@@ -39,10 +40,11 @@ class TestVerticalPartitioning:
         session = EngineSession()
         load_vertical_partitioning(session, graph)
         rows = session.table("vp_likes").collect()
-        assert sorted(rows) == [
-            ("<http://ex/a>", "<http://ex/x>"),
-            ("<http://ex/a>", "<http://ex/y>"),
-            ("<http://ex/b>", "<http://ex/x>"),
+        decoded = [decode_row(row) for row in rows]
+        assert sorted(decoded, key=lambda r: (r[0].value, r[1].value)) == [
+            (IRI("http://ex/a"), IRI("http://ex/x")),
+            (IRI("http://ex/a"), IRI("http://ex/y")),
+            (IRI("http://ex/b"), IRI("http://ex/x")),
         ]
 
     def test_tables_partitioned_on_subject(self, graph):
@@ -80,9 +82,9 @@ class TestPropertyTable:
         stats = collect_statistics(graph)
         info = load_property_table(session, graph, stats)
         rows = session.table(info.table_name).to_dicts()
-        row_x = [r for r in rows if r["s"] == "<http://ex/x>"][0]
+        row_x = [r for r in rows if decode_term(r["s"]) == IRI("http://ex/x")][0]
         assert row_x[info.column("http://ex/likes")] is None
-        assert row_x[info.column("http://ex/title")] == '"X"'
+        assert decode_term(row_x[info.column("http://ex/title")]) == Literal("X")
 
     def test_empty_graph_rejected(self):
         session = EngineSession()
@@ -97,10 +99,11 @@ class TestObjectPropertyTable:
         stats = collect_statistics(graph)
         info = load_object_property_table(session, graph, stats)
         rows = session.table(info.table_name).to_dicts()
-        row_x = [r for r in rows if r["o"] == "<http://ex/x>"][0]
-        assert sorted(row_x[info.column("http://ex/likes")]) == [
-            "<http://ex/a>",
-            "<http://ex/b>",
+        row_x = [r for r in rows if decode_term(r["o"]) == IRI("http://ex/x")][0]
+        likers = [decode_term(c) for c in row_x[info.column("http://ex/likes")]]
+        assert sorted(likers, key=lambda t: t.value) == [
+            IRI("http://ex/a"),
+            IRI("http://ex/b"),
         ]
 
     def test_all_columns_are_lists(self, graph):

@@ -4,8 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.engine.data as data_module
 from repro.columnar import ColumnSchema, TableSchema
-from repro.engine import partition_by_hash, partition_evenly, stable_hash
+from repro.engine import EngineSession, partition_by_hash, partition_evenly, stable_hash
 from repro.engine.data import (
     HashPartitioner,
     PartitionedData,
@@ -13,6 +14,7 @@ from repro.engine.data import (
     repartition_by_key,
 )
 from repro.errors import PlanError
+from repro.rdf.dictionary import TERM_ID_BASE, default_dictionary
 
 KV = TableSchema([ColumnSchema("k", "string"), ColumnSchema("v", "string")])
 
@@ -27,11 +29,41 @@ class TestStableHash:
     def test_non_string_values_hash(self):
         assert stable_hash((None, 5)) == stable_hash((None, 5))
 
-    def test_known_value_is_pinned(self):
+    def test_known_values_are_pinned(self):
         """Guards reproducibility: partition layouts must not drift between
         releases (they are part of the deterministic benchmark results)."""
-        assert stable_hash(("x",)) == stable_hash(("x",))
-        assert isinstance(stable_hash(("x",)), int)
+        assert stable_hash(("<http://ex/a>",)) == 1474185243
+        assert stable_hash(("abc", "def")) == 27852855263
+        assert stable_hash((0,)) == 7070836379803831727
+        assert stable_hash((1, "x")) == 1169686467671577058
+        assert stable_hash((None,)) == 3751981041
+
+    def test_single_key_fast_path_matches_partition_for(self):
+        """The scalar-key shuffle in ``repartition_by_key`` must place every
+        row exactly where ``partition_for`` would — co-partitioned joins
+        depend on both sides agreeing."""
+        partitioner = HashPartitioner(("k",), 5)
+        rows = [
+            ("abc", "1"),
+            (TERM_ID_BASE + 7, "2"),
+            (123, "3"),
+            (None, "4"),
+            (("odd", "key"), "5"),
+        ]
+        placed = repartition_by_key([rows], [0], partitioner)
+        for index, part in enumerate(placed):
+            for row in part:
+                assert partitioner.partition_for((row[0],)) == index
+
+    def test_dense_ints_scatter(self):
+        """Consecutive dictionary IDs must not land in consecutive
+        partitions (splitmix64 mixing, not identity hashing)."""
+        partitioner = HashPartitioner(("k",), 8)
+        placements = [
+            partitioner.partition_for((TERM_ID_BASE + i,)) for i in range(64)
+        ]
+        assert len(set(placements)) == 8
+        assert placements != sorted(placements)
 
 
 class TestPartitioning:
@@ -96,6 +128,74 @@ class TestRowBytes:
 
     def test_numbers_fixed_cost(self):
         assert estimate_row_bytes((123456789,)) == estimate_row_bytes((1,))
+
+    def test_term_ids_charge_decoded_size(self):
+        """The cost model must keep charging the *emulated decoded* bytes:
+        shuffle totals and broadcast decisions cannot change just because
+        cells shrank to dictionary IDs."""
+        text = "<http://ex/a-rather-long-iri-for-sizing>"
+        term_id = default_dictionary().intern_text(text)
+        assert estimate_row_bytes((term_id,)) == estimate_row_bytes((text,))
+
+    def test_term_ids_in_lists_charge_decoded_size(self):
+        texts = ["<http://ex/one>", "<http://ex/two-longer>"]
+        ids = [default_dictionary().intern_text(t) for t in texts]
+        assert estimate_row_bytes((ids,)) == estimate_row_bytes((texts,))
+
+
+class TestSizingMemoization:
+    def _counting(self, monkeypatch):
+        real = data_module.estimate_row_bytes
+        state = {"calls": 0, "per_row": {}, "kept": []}
+
+        def wrapper(row):
+            state["calls"] += 1
+            state["per_row"][id(row)] = state["per_row"].get(id(row), 0) + 1
+            state["kept"].append(row)  # pin row objects so ids stay unique
+            return real(row)
+
+        monkeypatch.setattr(data_module, "estimate_row_bytes", wrapper)
+        return state
+
+    def test_estimated_bytes_walks_cells_once(self, monkeypatch):
+        state = self._counting(monkeypatch)
+        data = PartitionedData(KV, [[("a", "1"), ("b", "2")], [("c", "3")]])
+        first = data.estimated_bytes()
+        assert data.estimated_bytes() == first
+        assert data.estimated_bytes() == first
+        assert state["calls"] == data.num_rows
+
+    def test_num_rows_memoized(self):
+        data = PartitionedData(KV, [[("a", "1")], [("b", "2")]])
+        assert data.num_rows == 2
+        assert data._num_rows == 2  # populated by the first access
+
+    def test_three_join_plan_sizes_each_row_at_most_once(self, monkeypatch):
+        """Regression: the join planner consults both sides of every join;
+        the seed re-walked every cell per consultation, turning a 3-join
+        plan into an O(joins × cells) sizing pass."""
+        session = EngineSession()
+
+        def schema(*names):
+            return TableSchema([ColumnSchema(name, "string") for name in names])
+
+        n = 40
+        session.register_rows("t1", schema("a", "b"), [(f"k{i}", f"x{i}") for i in range(n)])
+        session.register_rows("t2", schema("b", "c"), [(f"x{i}", f"y{i}") for i in range(n)])
+        session.register_rows("t3", schema("c", "d"), [(f"y{i}", f"z{i}") for i in range(n)])
+        session.register_rows("t4", schema("d", "e"), [(f"z{i}", f"w{i}") for i in range(n)])
+
+        state = self._counting(monkeypatch)
+        frame = (
+            session.table("t1")
+            .join(session.table("t2"), on=["b"])
+            .join(session.table("t3"), on=["c"])
+            .join(session.table("t4"), on=["d"])
+        )
+        rows = frame.collect()
+        assert len(rows) == n
+        assert state["calls"] > 0
+        assert max(state["per_row"].values()) == 1
 
 
 @given(

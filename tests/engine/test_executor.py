@@ -53,6 +53,45 @@ class TestNarrowOperators:
         rows = session.table("t").explode("xs", "x").collect()
         assert sorted(rows) == [("a", "1"), ("a", "2")]
 
+    def test_explode_renames_column_and_keeps_key_partitioner(self):
+        """Renaming a non-key list column via explode leaves the subject
+        hash placement intact (the PT multivalued-predicate path)."""
+        session = make_session()
+        schema = TableSchema([ColumnSchema("k", "string"), ColumnSchema("xs", "list<string>")])
+        session.register_rows(
+            "pt_like", schema, [("a", ["1", "2"]), ("b", ["3"])], partition_columns=("k",)
+        )
+        frame = session.table("pt_like").explode("xs", "x")
+        assert frame.columns == ("k", "x")
+        data, _ = session.execute(frame.plan, run_optimizer=False)
+        assert data.partitioner is not None
+        assert data.partitioner.columns == ("k",)
+        assert sorted(data.all_rows()) == [("a", "1"), ("a", "2"), ("b", "3")]
+
+    def test_explode_on_key_column_invalidates_partitioner(self):
+        """Exploding the partitioning column itself rewrites every key, so
+        the placement promise no longer holds."""
+        session = make_session()
+        schema = TableSchema([ColumnSchema("ks", "list<string>"), ColumnSchema("v", "string")])
+        session.register_rows(
+            "keyed", schema, [(["a", "b"], "1"), (["c"], "2")], partition_columns=("ks",)
+        )
+        frame = session.table("keyed").explode("ks", "k")
+        data, _ = session.execute(frame.plan, run_optimizer=False)
+        assert data.partitioner is None
+        assert sorted(data.all_rows()) == [("a", "1"), ("b", "1"), ("c", "2")]
+
+    def test_explode_without_rename_keeps_non_key_partitioner(self):
+        session = make_session()
+        schema = TableSchema([ColumnSchema("k", "string"), ColumnSchema("xs", "list<string>")])
+        session.register_rows(
+            "pt_keep", schema, [("a", ["1"])], partition_columns=("k",)
+        )
+        data, _ = session.execute(
+            session.table("pt_keep").explode("xs").plan, run_optimizer=False
+        )
+        assert data.partitioner is not None and data.partitioner.columns == ("k",)
+
 
 class TestJoins:
     def test_inner_join(self):

@@ -1,0 +1,61 @@
+"""Dictionary-ID execution equivalence, driven by the fuzzer's generators.
+
+The default (ID) mode is exercised by the whole suite, including the fixed
+200-seed differential cases in ``test_differential.py``. These tests pin
+the ablation itself: for random graphs and queries, every engine must
+produce the same decoded multiset of solutions whether cells carry
+dictionary :class:`TermId` integers or the legacy N-Triples strings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines import Rya, S2Rdf, SparqlGx, SparqlGxDirect
+from repro.core import ProstEngine
+from repro.rdf import ids_enabled, term_ids
+from repro.testing import DifferentialRunner
+from repro.testing.differential import row_key
+
+SEEDS = (0, 1, 2)
+
+ENGINE_FACTORIES = {
+    "prost-mixed": lambda: ProstEngine(strategy="mixed"),
+    "prost-vp": lambda: ProstEngine(strategy="vp"),
+    "s2rdf": S2Rdf,
+    "sparqlgx": SparqlGx,
+    "sparqlgx-sde": SparqlGxDirect,
+    "rya": Rya,
+}
+
+
+@pytest.fixture(scope="module")
+def runner() -> DifferentialRunner:
+    return DifferentialRunner(queries_per_graph=6)
+
+
+def test_suite_runs_with_ids_enabled():
+    """The acceptance criterion: the fixed-seed fuzz cases (and everything
+    else in tier 1) execute with ID cells, not the strings fallback."""
+    assert ids_enabled()
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINE_FACTORIES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ids_and_strings_modes_agree(runner, engine_name, seed):
+    graph, queries = runner.generate_case(seed)
+
+    def run_all(enabled: bool) -> list[Counter]:
+        with term_ids(enabled):
+            engine = ENGINE_FACTORIES[engine_name]()
+            engine.load(graph)
+            return [
+                Counter(map(row_key, engine.sparql(query).rows))
+                for query in queries
+            ]
+
+    with_ids = run_all(True)
+    with_strings = run_all(False)
+    assert with_ids == with_strings
