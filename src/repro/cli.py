@@ -111,7 +111,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .testing import ALL_SYSTEMS, fuzz_defaults, run_fuzz
+    from .testing import ALL_SYSTEMS, chaos_seed_from_env, fuzz_defaults, run_fuzz
 
     # Resolution order: explicit flag > environment variable > default.
     seed, iterations = fuzz_defaults()
@@ -119,6 +119,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed = args.seed
     if args.iterations is not None:
         iterations = args.iterations
+    # Chaos mode: --chaos-seed pins the fault-plan base seed; --chaos (or
+    # REPRO_CHAOS_SEED in the environment) turns it on with a default.
+    chaos_seed = args.chaos_seed
+    if chaos_seed is None:
+        chaos_seed = chaos_seed_from_env()
+    if chaos_seed is None and args.chaos:
+        chaos_seed = seed
     systems = tuple(args.system) if args.system else ALL_SYSTEMS
     for name in systems:
         if name not in ALL_SYSTEMS:
@@ -141,6 +148,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         stop_on_first=args.stop_on_first,
         progress=progress,
+        chaos_seed=chaos_seed,
     )
     print(report.summary())
     for mismatch in report.mismatches:
@@ -232,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="NAME",
         help="restrict to one or more systems (repeatable); default: all",
+    )
+    fuzz.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a seeded random fault plan (task/worker/shuffle-fetch "
+        "failures, stragglers) into every cluster-backed engine; results "
+        "must still match the fault-free oracle. REPRO_CHAOS_SEED also "
+        "enables this and picks the chaos base seed.",
+    )
+    fuzz.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="chaos base seed (implies --chaos; default: the fuzz base seed)",
     )
     fuzz.add_argument(
         "--no-shrink", action="store_true", help="report raw counterexamples unshrunken"

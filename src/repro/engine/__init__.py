@@ -18,6 +18,13 @@ from .data import (
 )
 from .dataframe import DataFrame
 from .expressions import Expression, and_all, col, lit
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    StragglerSpec,
+    TaskFault,
+    WorkerLoss,
+)
 from .logical import (
     Aggregate,
     AggregateSpec,
@@ -48,6 +55,8 @@ __all__ = [
     "ExecutionMetrics",
     "Explode",
     "Expression",
+    "FaultInjector",
+    "FaultPlan",
     "Filter",
     "HashPartitioner",
     "InMemoryRelation",
@@ -60,8 +69,11 @@ __all__ = [
     "SimulatedCluster",
     "Sort",
     "StoredTable",
+    "StragglerSpec",
     "TableScan",
+    "TaskFault",
     "Union",
+    "WorkerLoss",
     "and_all",
     "col",
     "estimate_cost",

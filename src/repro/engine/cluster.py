@@ -42,6 +42,13 @@ class ClusterConfig:
             multiplied by this factor when costing (stage overheads are not:
             Spark's scheduling constant does not grow with data). Benchmarks
             set ``data_scale = 100e6 / len(graph)`` to emulate WatDiv100M.
+        max_task_attempts: a task that fails this many times aborts the
+            query (Spark's ``spark.task.maxFailures``, default 4).
+        speculation_multiplier: a task running at least this many times
+            slower than its siblings gets a speculative duplicate
+            (``spark.speculation.multiplier``, default 1.5).
+        fault_seed: when set, every query runs under a seeded chaos
+            :class:`~repro.engine.faults.FaultPlan` drawn from this seed.
     """
 
     num_workers: int = 9
@@ -52,12 +59,30 @@ class ClusterConfig:
     task_overhead_sec: float = 0.05
     broadcast_threshold_bytes: int = 10 * 1024 * 1024
     data_scale: float = 1.0
+    max_task_attempts: int = 4
+    speculation_multiplier: float = 1.5
+    fault_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.partitions_per_worker <= 0:
             raise ValueError("partitions_per_worker must be positive")
+        for name in (
+            "network_bytes_per_sec",
+            "scan_bytes_per_sec",
+            "rows_per_sec",
+            "data_scale",
+            "broadcast_threshold_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.task_overhead_sec < 0:
+            raise ValueError("task_overhead_sec must be non-negative")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be at least 1")
+        if self.speculation_multiplier <= 1.0:
+            raise ValueError("speculation_multiplier must exceed 1.0")
 
     @property
     def default_partitions(self) -> int:
@@ -75,6 +100,13 @@ class ExecutionMetrics:
 
     All counters are cluster-wide totals; the cost model divides the
     parallelizable ones by the worker count.
+
+    The main work counters describe the *fault-free* data plane and are
+    byte-identical whether or not faults are injected. Recovery work —
+    retried tasks, lineage-recomputed shuffle partitions, speculative
+    duplicates, backoff waits — lives in the dedicated ``recovery_*`` /
+    retry counters, charged by the attached
+    :class:`~repro.engine.faults.FaultInjector` when one is present.
     """
 
     bytes_scanned: int = 0
@@ -90,6 +122,20 @@ class ExecutionMetrics:
     tasks: int = 0
     rows_output: int = 0
     operator_log: list[str] = field(default_factory=list)
+    # -- fault tolerance -------------------------------------------------------
+    task_retries: int = 0
+    fetch_retries: int = 0
+    speculative_tasks: int = 0
+    recomputed_tasks: int = 0
+    worker_losses: int = 0
+    retry_waves: int = 0
+    retry_backoff_sec: float = 0.0
+    straggler_extra_sec: float = 0.0
+    recovery_bytes_scanned: int = 0
+    recovery_rows_processed: int = 0
+    recovery_shuffle_bytes: int = 0
+    fault_events: list[str] = field(default_factory=list)
+    fault_injector: object | None = field(default=None, repr=False, compare=False)
 
     def record_stage(self, tasks: int, note: str = "") -> None:
         """Register one stage (a wave of parallel tasks)."""
@@ -97,6 +143,18 @@ class ExecutionMetrics:
         self.tasks += tasks
         if note:
             self.operator_log.append(note)
+        if self.fault_injector is not None:
+            self.fault_injector.on_stage(self, tasks, note)
+
+    @property
+    def recovered_faults(self) -> int:
+        """Total fault events the query survived."""
+        return (
+            self.task_retries
+            + self.fetch_retries
+            + self.speculative_tasks
+            + self.worker_losses
+        )
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Fold another metrics object into this one (for multi-plan runs)."""
@@ -113,6 +171,18 @@ class ExecutionMetrics:
         self.tasks += other.tasks
         self.rows_output += other.rows_output
         self.operator_log.extend(other.operator_log)
+        self.task_retries += other.task_retries
+        self.fetch_retries += other.fetch_retries
+        self.speculative_tasks += other.speculative_tasks
+        self.recomputed_tasks += other.recomputed_tasks
+        self.worker_losses += other.worker_losses
+        self.retry_waves += other.retry_waves
+        self.retry_backoff_sec += other.retry_backoff_sec
+        self.straggler_extra_sec += other.straggler_extra_sec
+        self.recovery_bytes_scanned += other.recovery_bytes_scanned
+        self.recovery_rows_processed += other.recovery_rows_processed
+        self.recovery_shuffle_bytes += other.recovery_shuffle_bytes
+        self.fault_events.extend(other.fault_events)
 
 
 @dataclass(frozen=True)
@@ -124,6 +194,7 @@ class CostBreakdown:
     shuffle_sec: float
     broadcast_sec: float
     overhead_sec: float
+    recovery_sec: float = 0.0
 
     @property
     def total_sec(self) -> float:
@@ -133,6 +204,7 @@ class CostBreakdown:
             + self.shuffle_sec
             + self.broadcast_sec
             + self.overhead_sec
+            + self.recovery_sec
         )
 
 
@@ -163,25 +235,65 @@ def estimate_cost(metrics: ExecutionMetrics, config: ClusterConfig) -> CostBreak
         + 0.01 * metrics.broadcast_count
     )
     overhead_sec = metrics.stages * config.task_overhead_sec
+    # Recovery work re-runs at the same rates as first-run work (recovered
+    # rows are charged unfused — re-execution restarts the pipeline), plus
+    # the serial waits: retry backoff, straggler drag, and one scheduling
+    # overhead per extra task wave.
+    recovery_sec = (
+        scale * metrics.recovery_bytes_scanned / (config.scan_bytes_per_sec * workers)
+        + scale * metrics.recovery_rows_processed / (config.rows_per_sec * workers)
+        + scale
+        * 2
+        * metrics.recovery_shuffle_bytes
+        / (config.network_bytes_per_sec * workers)
+        + metrics.retry_backoff_sec
+        + metrics.straggler_extra_sec
+        + metrics.retry_waves * config.task_overhead_sec
+    )
     return CostBreakdown(
         scan_sec=scan_sec,
         cpu_sec=cpu_sec,
         shuffle_sec=shuffle_sec,
         broadcast_sec=broadcast_sec,
         overhead_sec=overhead_sec,
+        recovery_sec=recovery_sec,
     )
 
 
 class SimulatedCluster:
-    """Execution context: a config plus cumulative session-level metrics."""
+    """Execution context: a config plus cumulative session-level metrics.
 
-    def __init__(self, config: ClusterConfig | None = None):
+    Args:
+        config: cluster description; ``config.fault_seed`` implies a seeded
+            chaos fault plan when ``fault_plan`` is not given explicitly.
+        fault_plan: inject this :class:`~repro.engine.faults.FaultPlan` into
+            every query executed on the cluster (a fresh
+            :class:`~repro.engine.faults.FaultInjector` per query: lost
+            workers are replaced between queries, as Spark replaces dead
+            executors).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        fault_plan: "object | None" = None,
+    ):
         self.config = config or ClusterConfig()
+        if fault_plan is None and self.config.fault_seed is not None:
+            from .faults import FaultPlan
+
+            fault_plan = FaultPlan.from_rates(self.config.fault_seed)
+        self.fault_plan = fault_plan
         self.session_metrics = ExecutionMetrics()
 
     def new_query_metrics(self) -> ExecutionMetrics:
         """A fresh metrics object for one query execution."""
-        return ExecutionMetrics()
+        metrics = ExecutionMetrics()
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            from .faults import FaultInjector
+
+            metrics.fault_injector = FaultInjector(self.fault_plan, self.config)
+        return metrics
 
     def finish_query(self, metrics: ExecutionMetrics) -> CostBreakdown:
         """Fold query metrics into the session totals and cost them."""

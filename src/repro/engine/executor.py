@@ -200,6 +200,9 @@ class PhysicalExecutor:
         right_bytes = right.estimated_bytes()
         strategy = self._choose_strategy(plan, left, right, left_bytes, right_bytes, keys)
 
+        # Work is charged before the stage is recorded: the fault injector
+        # attributes the counter delta since the previous stage to this one.
+        metrics.rows_processed += left.num_rows + right.num_rows
         if strategy == "colocated":
             metrics.colocated_joins += 1
             metrics.record_stage(
@@ -241,7 +244,6 @@ class PhysicalExecutor:
             left_parts = repartition_by_key(left.partitions, left_key_idx, partitioner)
             right_parts = repartition_by_key(right.partitions, right_key_idx, partitioner)
 
-        metrics.rows_processed += left.num_rows + right.num_rows
         partitions = []
         for left_part, right_part in zip(left_parts, right_parts):
             partitions.append(

@@ -38,12 +38,22 @@ class QueryReport:
 
     def summary(self) -> str:
         m = self.metrics
-        return (
+        text = (
             f"rows={m.rows_output} stages={m.stages} "
             f"scan={m.bytes_scanned}B shuffle={m.shuffle_bytes}B "
             f"broadcasts={m.broadcast_count} colocated={m.colocated_joins} "
             f"simulated={self.simulated_sec * 1000:.1f}ms"
         )
+        if m.recovered_faults:
+            text += (
+                f" [recovered: {m.task_retries} task retries, "
+                f"{m.fetch_retries} fetch retries, "
+                f"{m.recomputed_tasks} recomputed tasks, "
+                f"{m.speculative_tasks} speculative, "
+                f"{m.worker_losses} worker losses, "
+                f"recovery={self.cost.recovery_sec * 1000:.1f}ms]"
+            )
+        return text
 
 
 class EngineSession:

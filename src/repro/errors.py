@@ -59,7 +59,56 @@ class PlanError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """Raised when executing a physical plan fails at runtime."""
+    """Base class for runtime failures while executing a physical plan.
+
+    The fault-tolerance machinery raises typed subclasses: a single task
+    attempt fails with :class:`TaskFailedError`, a task that exhausts its
+    retry budget fails the query with :class:`FaultToleranceExhaustedError`,
+    and an HDFS block whose every replica is on a dead datanode raises
+    :class:`BlockUnavailableError`.
+    """
+
+
+class TaskFailedError(ExecutionError):
+    """One simulated task attempt failed (injected fault).
+
+    Attributes:
+        stage: stage index the task ran in.
+        task: task index within the stage's wave.
+        attempt: 1-based attempt number that failed.
+        kind: ``"task"`` (execution failure) or ``"fetch"`` (shuffle-fetch).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: int | None = None,
+        task: int | None = None,
+        attempt: int | None = None,
+        kind: str = "task",
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.task = task
+        self.attempt = attempt
+        self.kind = kind
+
+
+class FaultToleranceExhaustedError(ExecutionError):
+    """A task failed more times than ``max_task_attempts`` allows.
+
+    Mirrors Spark aborting a stage (and the job) once a single task has
+    failed ``spark.task.maxFailures`` times.
+    """
+
+
+class BlockUnavailableError(ExecutionError, StorageError):
+    """Every replica of an HDFS block lives on a failed datanode.
+
+    Both an :class:`ExecutionError` (a scan cannot proceed) and a
+    :class:`StorageError` (the storage layer lost data), so callers
+    catching either family see it.
+    """
 
 
 class CatalogError(ReproError):

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import FileAlreadyExistsError, FileNotFoundInHdfsError, StorageError
+from ..errors import (
+    BlockUnavailableError,
+    FileAlreadyExistsError,
+    FileNotFoundInHdfsError,
+    StorageError,
+)
 from .blocks import DEFAULT_BLOCK_SIZE, Block, plan_placement, split_into_blocks
 
 
@@ -58,6 +63,9 @@ class SimulatedHdfs:
         self._files: dict[str, HdfsFile] = {}
         self._failed: set[int] = set()
         self._next_block_id = 0
+        #: Block reads served by a non-primary replica because the primary's
+        #: datanode was down (the reader's failover path).
+        self.failover_reads = 0
 
     # -- writing -------------------------------------------------------------
 
@@ -121,12 +129,42 @@ class SimulatedHdfs:
     # -- reading -------------------------------------------------------------
 
     def read(self, path: str) -> bytes:
-        """Return a file's full payload.
+        """Return a file's full payload, reading each block from a live replica.
+
+        Replica selection is the HDFS client's failover order: the primary
+        replica first, then the remaining replicas in placement order. A
+        block is only unreadable when *every* replica sits on a failed
+        datanode.
 
         Raises:
             FileNotFoundInHdfsError: when the path does not exist.
+            BlockUnavailableError: when all replicas of some block are on
+                failed datanodes.
         """
-        return self._require(path).data
+        file = self._require(path)
+        if not self._failed:
+            return file.data
+        chunks: list[bytes] = []
+        offset = 0
+        for block in file.blocks:
+            replica = self._live_replica(block)
+            if replica is None:
+                raise BlockUnavailableError(
+                    f"block {block.block_id} of {file.path}: all replicas "
+                    f"{list(block.replicas)} are on failed datanodes"
+                )
+            if replica != block.primary_node:
+                self.failover_reads += 1
+            chunks.append(file.data[offset : offset + block.size])
+            offset += block.size
+        return b"".join(chunks)
+
+    def _live_replica(self, block: Block) -> int | None:
+        """First in-service replica of a block (primary first), or ``None``."""
+        for node in block.replicas:
+            if node not in self._failed:
+                return node
+        return None
 
     def exists(self, path: str) -> bool:
         try:
@@ -177,21 +215,31 @@ class SimulatedHdfs:
 
     # -- failure handling -------------------------------------------------------
 
-    def fail_node(self, node: int) -> int:
-        """Take a datanode out of service and re-replicate its blocks.
+    def fail_node(self, node: int, repair: bool = True) -> int:
+        """Take a datanode out of service, optionally re-replicating its blocks.
 
-        As HDFS's namenode does on a datanode death: every block that had a
-        replica on the failed node gets a new replica on a surviving node
-        (copied from a surviving replica), keeping the replication factor
-        whenever enough nodes remain. Returns the number of blocks repaired.
+        With ``repair`` (the default), as HDFS's namenode does on a datanode
+        death: every block that had a replica on the failed node gets a new
+        replica on a surviving node (copied from a surviving replica),
+        keeping the replication factor whenever enough nodes remain. Returns
+        the number of blocks repaired.
+
+        With ``repair=False`` the node just goes dark — replica lists keep
+        their dead entries and readers fail over to surviving replicas at
+        :meth:`read` time (the window between a crash and the namenode's
+        re-replication pass). Returns 0.
 
         Raises:
             ValueError: for an unknown node id.
-            StorageError: when some block had its *only* replica on the node
-                (data loss — with replication ≥ 2 this cannot happen).
+            BlockUnavailableError: in repair mode, when some block had its
+                *only* replica on the node (data loss — with replication ≥ 2
+                this cannot happen).
         """
         if not 0 <= node < self.num_datanodes:
             raise ValueError(f"unknown datanode {node}")
+        if not repair:
+            self._failed.add(node)
+            return 0
         repaired = 0
         survivors = [n for n in range(self.num_datanodes) if n != node and n not in self._failed]
         self._failed.add(node)
@@ -201,7 +249,7 @@ class SimulatedHdfs:
                     continue
                 remaining = tuple(r for r in block.replicas if r != node)
                 if not remaining:
-                    raise StorageError(
+                    raise BlockUnavailableError(
                         f"block {block.block_id} of {file.path} lost its last replica"
                     )
                 candidates = [n for n in survivors if n not in remaining]

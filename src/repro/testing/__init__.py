@@ -20,9 +20,13 @@ and a one-command replay line.
 
 from .differential import (
     ALL_SYSTEMS,
+    CLUSTER_SYSTEMS,
     DifferentialMismatch,
     DifferentialRunner,
+    FaultStats,
     FuzzReport,
+    chaos_plan_seed,
+    chaos_seed_from_env,
     fuzz_defaults,
     run_fuzz,
 )
@@ -32,12 +36,16 @@ from .querygen import QueryGenConfig, generate_query, serialize_query
 
 __all__ = [
     "ALL_SYSTEMS",
+    "CLUSTER_SYSTEMS",
     "BruteForceOracle",
     "DifferentialMismatch",
     "DifferentialRunner",
+    "FaultStats",
     "FuzzReport",
     "GraphGenConfig",
     "QueryGenConfig",
+    "chaos_plan_seed",
+    "chaos_seed_from_env",
     "fuzz_defaults",
     "generate_graph",
     "generate_query",

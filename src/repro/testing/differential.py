@@ -16,6 +16,7 @@ import random
 from collections import Counter
 from dataclasses import dataclass, field, replace
 
+from ..engine.cluster import ClusterConfig
 from ..rdf.graph import Graph
 from ..rdf.terms import Term, Triple
 from ..sparql.algebra import SelectQuery, Variable
@@ -27,10 +28,28 @@ from .querygen import QueryGenConfig, generate_query, serialize_query
 #: Systems the differential harness covers, in reporting order.
 ALL_SYSTEMS = ("prost-mixed", "prost-vp", "s2rdf", "sparqlgx", "rya")
 
+#: Systems that execute on the simulated cluster — the ones chaos mode can
+#: inject faults into (Rya runs on the key-value store instead).
+CLUSTER_SYSTEMS = ("prost-mixed", "prost-vp", "s2rdf", "sparqlgx")
+
 #: Environment variables honored by both pytest's opt-in fuzz test and the
 #: ``prost-repro fuzz`` CLI subcommand (one resolution code path for both).
 SEED_ENV = "REPRO_FUZZ_SEED"
 ITERATIONS_ENV = "REPRO_FUZZ_ITERATIONS"
+#: Enables chaos mode and picks its base seed when set (CLI: ``--chaos``).
+CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+
+
+def chaos_seed_from_env() -> int | None:
+    """The chaos base seed requested via :data:`CHAOS_SEED_ENV`, if any."""
+    value = os.environ.get(CHAOS_SEED_ENV)
+    return int(value) if value is not None else None
+
+
+def chaos_plan_seed(chaos_seed: int, case_seed: int) -> int:
+    """The fault-plan seed for one fuzz iteration: a fresh fault plan per
+    case seed, all replayable from (chaos base seed, case seed)."""
+    return chaos_seed * 1_000_003 + case_seed
 
 
 def fuzz_defaults(seed: int = 0, iterations: int = 20) -> tuple[int, int]:
@@ -45,22 +64,74 @@ def fuzz_defaults(seed: int = 0, iterations: int = 20) -> tuple[int, int]:
     return seed, iterations
 
 
-def make_system(name: str):
-    """A fresh, unloaded engine instance for a system name."""
+def make_system(name: str, cluster_config: ClusterConfig | None = None):
+    """A fresh, unloaded engine instance for a system name.
+
+    ``cluster_config`` applies to the systems that run on the simulated
+    cluster (chaos mode passes one carrying a ``fault_seed``); Rya runs on
+    the key-value store and ignores it.
+    """
     from ..baselines import Rya, S2Rdf, SparqlGx
     from ..core.prost import ProstEngine
 
     if name == "prost-mixed":
-        return ProstEngine(strategy="mixed")
+        return ProstEngine(strategy="mixed", cluster_config=cluster_config)
     if name == "prost-vp":
-        return ProstEngine(strategy="vp")
+        return ProstEngine(strategy="vp", cluster_config=cluster_config)
     if name == "s2rdf":
-        return S2Rdf()
+        return S2Rdf(cluster_config=cluster_config)
     if name == "sparqlgx":
-        return SparqlGx()
+        return SparqlGx(cluster_config=cluster_config)
     if name == "rya":
         return Rya()
     raise ValueError(f"unknown system {name!r}")
+
+
+@dataclass
+class FaultStats:
+    """Recovery counters aggregated across a chaos run's engine sessions."""
+
+    task_retries: int = 0
+    fetch_retries: int = 0
+    speculative_tasks: int = 0
+    recomputed_tasks: int = 0
+    worker_losses: int = 0
+
+    @property
+    def any(self) -> bool:
+        return bool(
+            self.task_retries
+            or self.fetch_retries
+            or self.speculative_tasks
+            or self.recomputed_tasks
+            or self.worker_losses
+        )
+
+    def add_system(self, system) -> None:
+        """Fold in a loaded engine's session-level metrics (if it has any)."""
+        session = getattr(system, "session", None)
+        if session is None:
+            return
+        metrics = session.cluster.session_metrics
+        self.task_retries += metrics.task_retries
+        self.fetch_retries += metrics.fetch_retries
+        self.speculative_tasks += metrics.speculative_tasks
+        self.recomputed_tasks += metrics.recomputed_tasks
+        self.worker_losses += metrics.worker_losses
+
+    def merge(self, other: "FaultStats") -> None:
+        self.task_retries += other.task_retries
+        self.fetch_retries += other.fetch_retries
+        self.speculative_tasks += other.speculative_tasks
+        self.recomputed_tasks += other.recomputed_tasks
+        self.worker_losses += other.worker_losses
+
+    def summary(self) -> str:
+        return (
+            f"task_retries={self.task_retries} fetch_retries={self.fetch_retries} "
+            f"speculative={self.speculative_tasks} recomputed={self.recomputed_tasks} "
+            f"worker_losses={self.worker_losses}"
+        )
 
 
 def row_key(row: tuple[Term | None, ...]) -> tuple[str | None, ...]:
@@ -86,13 +157,17 @@ class DifferentialMismatch:
     detail: str
     expected: list[tuple] = field(default_factory=list)
     actual: list[tuple] = field(default_factory=list)
+    chaos_seed: int | None = None
 
     @property
     def replay_command(self) -> str:
-        return (
+        command = (
             "PYTHONPATH=src python -m repro.cli fuzz "
             f"--seed {self.seed} --iterations 1"
         )
+        if self.chaos_seed is not None:
+            command += f" --chaos-seed {self.chaos_seed}"
+        return command
 
     def format(self) -> str:
         triple_count = sum(
@@ -118,6 +193,7 @@ class FuzzReport:
     seeds: list[int]
     cases: int
     mismatches: list[DifferentialMismatch]
+    fault_stats: FaultStats | None = None
 
     @property
     def ok(self) -> bool:
@@ -127,14 +203,24 @@ class FuzzReport:
         status = "OK" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"
         if not self.seeds:
             return f"fuzz: 0 cases over 0 seed(s): {status}"
-        return (
+        text = (
             f"fuzz: {self.cases} cases over {len(self.seeds)} seed(s) "
             f"[{self.seeds[0]}..{self.seeds[-1]}]: {status}"
         )
+        if self.fault_stats is not None:
+            text += f"\nchaos: {self.fault_stats.summary()}"
+        return text
 
 
 class DifferentialRunner:
-    """Generates seeded cases and checks every system against the oracle."""
+    """Generates seeded cases and checks every system against the oracle.
+
+    With ``chaos_seed`` set, every cluster-backed system runs each seed's
+    queries under a seeded random :class:`~repro.engine.faults.FaultPlan`
+    (a fresh plan per case seed, derived via :func:`chaos_plan_seed`). The
+    oracle is fault-free, so multiset equality doubles as the recovery
+    correctness bar: injected faults must never change a result row.
+    """
 
     def __init__(
         self,
@@ -142,11 +228,18 @@ class DifferentialRunner:
         query_config: QueryGenConfig | None = None,
         queries_per_graph: int = 10,
         shrink: bool = True,
+        chaos_seed: int | None = None,
     ):
         self.systems = systems
         self.query_config = query_config or QueryGenConfig()
         self.queries_per_graph = queries_per_graph
         self.shrink = shrink
+        self.chaos_seed = chaos_seed
+
+    def _cluster_config(self, seed: int) -> ClusterConfig | None:
+        if self.chaos_seed is None:
+            return None
+        return ClusterConfig(fault_seed=chaos_plan_seed(self.chaos_seed, seed))
 
     # -- seeded case generation ----------------------------------------------
 
@@ -166,15 +259,25 @@ class DifferentialRunner:
     def run_seed(self, seed: int) -> list[DifferentialMismatch]:
         """Check every query of one seed on every system; loaded engines are
         reused across the seed's queries (loading dominates the runtime)."""
+        mismatches, _ = self.run_seed_with_stats(seed)
+        return mismatches
+
+    def run_seed_with_stats(
+        self, seed: int
+    ) -> tuple[list[DifferentialMismatch], FaultStats]:
+        """Like :meth:`run_seed`, also aggregating the recovery counters the
+        engines' sessions accumulated (all zero outside chaos mode)."""
         graph, queries = self.generate_case(seed)
         oracle = BruteForceOracle(graph)
         graph_nt = graph.to_ntriples()
+        config = self._cluster_config(seed)
 
         mismatches: list[DifferentialMismatch] = []
+        stats = FaultStats()
         loaded = {}
         for name in self.systems:
             try:
-                system = make_system(name)
+                system = make_system(name, cluster_config=config)
                 system.load(graph)
                 loaded[name] = system
             except Exception as error:  # noqa: BLE001 — report, don't crash
@@ -187,6 +290,7 @@ class DifferentialRunner:
                         query_text="(load)",
                         graph_ntriples=graph_nt,
                         detail=f"load failed: {type(error).__name__}: {error}",
+                        chaos_seed=self.chaos_seed,
                     )
                 )
 
@@ -204,25 +308,30 @@ class DifferentialRunner:
                         graph_ntriples=graph_nt,
                         detail=f"parsed AST differs from generated AST:\n"
                         f"  generated: {query}\n  parsed:    {parsed}",
+                        chaos_seed=self.chaos_seed,
                     )
                 )
                 continue
             expected = oracle.evaluate(query)
             for name, system in loaded.items():
                 mismatch = self._check_one(
-                    name, system, graph, query, expected, seed, index, text, graph_nt
+                    name, system, graph, query, expected, seed, index, text,
+                    graph_nt, config,
                 )
                 if mismatch is not None:
                     mismatches.append(mismatch)
-        return mismatches
+        for system in loaded.values():
+            stats.add_system(system)
+        return mismatches, stats
 
     def _check_one(
-        self, name, system, graph, query, expected, seed, index, text, graph_nt
+        self, name, system, graph, query, expected, seed, index, text, graph_nt,
+        config,
     ) -> DifferentialMismatch | None:
         try:
             actual = system.sparql(query).rows
         except Exception as error:  # noqa: BLE001 — an engine crash is a finding
-            shrunk_graph, shrunk_query = self._shrink(graph, query, name)
+            shrunk_graph, shrunk_query = self._shrink(graph, query, name, config)
             return DifferentialMismatch(
                 kind="error",
                 system=name,
@@ -231,13 +340,14 @@ class DifferentialRunner:
                 query_text=serialize_query(shrunk_query),
                 graph_ntriples=shrunk_graph.to_ntriples(),
                 detail=f"{type(error).__name__}: {error}",
+                chaos_seed=self.chaos_seed,
             )
         if Counter(map(row_key, actual)) == Counter(map(row_key, expected)):
             return None
-        shrunk_graph, shrunk_query = self._shrink(graph, query, name)
+        shrunk_graph, shrunk_query = self._shrink(graph, query, name, config)
         shrunk_expected = BruteForceOracle(shrunk_graph).evaluate(shrunk_query)
         try:
-            fresh = make_system(name)
+            fresh = make_system(name, cluster_config=config)
             fresh.load(shrunk_graph)
             shrunk_actual = fresh.sparql(shrunk_query).rows
         except Exception as error:  # noqa: BLE001
@@ -264,24 +374,34 @@ class DifferentialRunner:
             ),
             expected=shrunk_expected,
             actual=shrunk_actual,
+            chaos_seed=self.chaos_seed,
         )
 
     # -- shrinking -------------------------------------------------------------
 
     def _shrink(
-        self, graph: Graph, query: SelectQuery, system_name: str
+        self,
+        graph: Graph,
+        query: SelectQuery,
+        system_name: str,
+        config: ClusterConfig | None = None,
     ) -> tuple[Graph, SelectQuery]:
         """Minimal (graph, query) still reproducing the mismatch."""
         if not self.shrink:
             return graph, query
         triples = list(graph)
-        triples = _shrink_triples(triples, query, system_name)
-        query = _shrink_query(triples, query, system_name)
-        triples = _shrink_triples(triples, query, system_name)
+        triples = _shrink_triples(triples, query, system_name, config)
+        query = _shrink_query(triples, query, system_name, config)
+        triples = _shrink_triples(triples, query, system_name, config)
         return Graph(triples), query
 
 
-def _still_fails(triples: list[Triple], query: SelectQuery, system_name: str) -> bool:
+def _still_fails(
+    triples: list[Triple],
+    query: SelectQuery,
+    system_name: str,
+    config: ClusterConfig | None = None,
+) -> bool:
     """Whether the case still mismatches (different rows, or a crash)."""
     graph = Graph(triples)
     try:
@@ -289,7 +409,7 @@ def _still_fails(triples: list[Triple], query: SelectQuery, system_name: str) ->
     except Exception:  # noqa: BLE001 — an invalid reduction, not a failure
         return False
     try:
-        system = make_system(system_name)
+        system = make_system(system_name, cluster_config=config)
         system.load(graph)
         actual = system.sparql(query).rows
     except Exception:  # noqa: BLE001 — crashes reproduce the finding
@@ -298,7 +418,10 @@ def _still_fails(triples: list[Triple], query: SelectQuery, system_name: str) ->
 
 
 def _shrink_triples(
-    triples: list[Triple], query: SelectQuery, system_name: str
+    triples: list[Triple],
+    query: SelectQuery,
+    system_name: str,
+    config: ClusterConfig | None = None,
 ) -> list[Triple]:
     """Delta-debugging-style removal: big chunks first, then single triples."""
     improved = True
@@ -309,7 +432,7 @@ def _shrink_triples(
             index = 0
             while index < len(triples):
                 candidate = triples[:index] + triples[index + chunk :]
-                if candidate and _still_fails(candidate, query, system_name):
+                if candidate and _still_fails(candidate, query, system_name, config):
                     triples = candidate
                     improved = True
                 else:
@@ -319,7 +442,10 @@ def _shrink_triples(
 
 
 def _shrink_query(
-    triples: list[Triple], query: SelectQuery, system_name: str
+    triples: list[Triple],
+    query: SelectQuery,
+    system_name: str,
+    config: ClusterConfig | None = None,
 ) -> SelectQuery:
     """Drop patterns, filters, and modifiers while the mismatch reproduces."""
     improved = True
@@ -329,7 +455,9 @@ def _shrink_query(
             if len(query.patterns) <= 1:
                 break
             candidate = _drop_pattern(query, index)
-            if candidate is not None and _still_fails(triples, candidate, system_name):
+            if candidate is not None and _still_fails(
+                triples, candidate, system_name, config
+            ):
                 query = candidate
                 improved = True
                 break
@@ -340,14 +468,14 @@ def _shrink_query(
                 query,
                 filters=query.filters[:index] + query.filters[index + 1 :],
             )
-            if _still_fails(triples, candidate, system_name):
+            if _still_fails(triples, candidate, system_name, config):
                 query = candidate
                 improved = True
                 break
         if improved:
             continue
         for candidate in _modifier_reductions(query):
-            if _still_fails(triples, candidate, system_name):
+            if _still_fails(triples, candidate, system_name, config):
                 query = candidate
                 improved = True
                 break
@@ -406,26 +534,41 @@ def run_fuzz(
     shrink: bool = True,
     stop_on_first: bool = False,
     progress=None,
+    chaos_seed: int | None = None,
 ) -> FuzzReport:
     """Fuzz ``iterations`` consecutive seeds starting at ``base_seed``.
 
     Args:
         progress: optional callback ``(seed, mismatches_so_far)`` invoked
             after each seed (the CLI uses it for live output).
+        chaos_seed: run every cluster-backed system under a seeded random
+            fault plan per iteration (``None`` disables chaos mode). The
+            report's ``fault_stats`` then carries the recovery counters.
     """
     runner = DifferentialRunner(
-        systems=systems, queries_per_graph=queries_per_graph, shrink=shrink
+        systems=systems,
+        queries_per_graph=queries_per_graph,
+        shrink=shrink,
+        chaos_seed=chaos_seed,
     )
     seeds: list[int] = []
     mismatches: list[DifferentialMismatch] = []
+    stats = FaultStats()
     cases = 0
     for offset in range(iterations):
         seed = base_seed + offset
         seeds.append(seed)
-        mismatches.extend(runner.run_seed(seed))
+        seed_mismatches, seed_stats = runner.run_seed_with_stats(seed)
+        mismatches.extend(seed_mismatches)
+        stats.merge(seed_stats)
         cases += queries_per_graph
         if progress is not None:
             progress(seed, len(mismatches))
         if mismatches and stop_on_first:
             break
-    return FuzzReport(seeds=seeds, cases=cases, mismatches=mismatches)
+    return FuzzReport(
+        seeds=seeds,
+        cases=cases,
+        mismatches=mismatches,
+        fault_stats=stats if chaos_seed is not None else None,
+    )

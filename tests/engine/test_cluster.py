@@ -17,6 +17,35 @@ class TestClusterConfig:
         with pytest.raises(ValueError):
             ClusterConfig(partitions_per_worker=0)
 
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "network_bytes_per_sec",
+            "scan_bytes_per_sec",
+            "rows_per_sec",
+            "data_scale",
+            "broadcast_threshold_bytes",
+        ],
+    )
+    def test_non_positive_rates_rejected(self, name):
+        with pytest.raises(ValueError, match=name):
+            ClusterConfig(**{name: 0})
+        with pytest.raises(ValueError, match=name):
+            ClusterConfig(**{name: -1})
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="task_overhead_sec"):
+            ClusterConfig(task_overhead_sec=-0.1)
+        ClusterConfig(task_overhead_sec=0.0)  # zero overhead is allowed
+
+    def test_fault_tolerance_knobs_validated(self):
+        with pytest.raises(ValueError, match="max_task_attempts"):
+            ClusterConfig(max_task_attempts=0)
+        with pytest.raises(ValueError, match="speculation_multiplier"):
+            ClusterConfig(speculation_multiplier=1.0)
+        config = ClusterConfig(max_task_attempts=1, speculation_multiplier=1.01)
+        assert config.max_task_attempts == 1
+
 
 class TestMetrics:
     def test_record_stage(self):

@@ -1,0 +1,107 @@
+"""Read-time replica failover tests (``fail_node(..., repair=False)``).
+
+Between a datanode crash and the namenode's re-replication pass, readers
+must fail over to surviving replicas block by block, returning bytes
+identical to the healthy read — and only raise ``BlockUnavailableError``
+when every replica of some block is dead.
+"""
+
+import pytest
+
+from repro.errors import BlockUnavailableError, ExecutionError, StorageError
+from repro.hdfs import SimulatedHdfs
+
+PAYLOAD = bytes(range(256)) * 3  # multiple blocks, position-distinct bytes
+
+
+def make_fs(**kwargs) -> SimulatedHdfs:
+    defaults = {"num_datanodes": 4, "block_size": 64, "replication": 2}
+    defaults.update(kwargs)
+    return SimulatedHdfs(**defaults)
+
+
+class TestReplicaFailover:
+    def test_reads_identical_after_each_primary_dies(self):
+        # For every block of the file, kill that block's primary replica
+        # (without repair) on a fresh cluster; the read must still
+        # reassemble the exact original payload from the survivors.
+        primaries = {
+            block.primary_node
+            for block in make_fs().write("/a", PAYLOAD).blocks
+        }
+        assert len(primaries) > 1  # blocks spread over several primaries
+        for node in primaries:
+            fs = make_fs()
+            fs.write("/a", PAYLOAD)
+            fs.fail_node(node, repair=False)
+            assert fs.read("/a") == PAYLOAD
+            assert fs.failover_reads >= 1
+
+    def test_failover_reads_counted(self):
+        fs = make_fs()
+        fs.write("/a", PAYLOAD)
+        assert fs.read("/a") == PAYLOAD
+        assert fs.failover_reads == 0  # healthy cluster: no failover
+        primary = fs.file_info("/a").blocks[0].primary_node
+        fs.fail_node(primary, repair=False)
+        fs.read("/a")
+        assert fs.failover_reads >= 1
+
+    def test_unrepaired_node_keeps_dead_replica_entries(self):
+        fs = make_fs()
+        fs.write("/a", PAYLOAD)
+        primary = fs.file_info("/a").blocks[0].primary_node
+        repaired = fs.fail_node(primary, repair=False)
+        assert repaired == 0
+        # The replica lists still mention the dead node (no re-replication).
+        assert any(primary in replicas for replicas in fs.block_locations("/a"))
+
+    def test_untouched_blocks_still_served_by_primary(self):
+        fs = make_fs(num_datanodes=6, replication=2)
+        fs.write("/a", PAYLOAD)
+        blocks = fs.file_info("/a").blocks
+        fs.fail_node(blocks[0].primary_node, repair=False)
+        before = fs.failover_reads
+        fs.read("/a")
+        # Exactly the blocks whose primary died fail over, no others.
+        dead = fs.failed_nodes
+        expected = sum(1 for b in blocks if b.primary_node in dead)
+        assert fs.failover_reads - before == expected
+
+    def test_all_replicas_dead_raises_block_unavailable(self):
+        fs = make_fs(num_datanodes=3, replication=2)
+        fs.write("/a", PAYLOAD)
+        doomed = fs.file_info("/a").blocks[0]
+        for node in doomed.replicas:
+            fs.fail_node(node, repair=False)
+        with pytest.raises(BlockUnavailableError) as excinfo:
+            fs.read("/a")
+        assert f"block {doomed.block_id}" in str(excinfo.value)
+
+    def test_block_unavailable_is_execution_and_storage_error(self):
+        # The engine catches ExecutionError; legacy HDFS callers catch
+        # StorageError. The failover error must satisfy both.
+        assert issubclass(BlockUnavailableError, ExecutionError)
+        assert issubclass(BlockUnavailableError, StorageError)
+
+    def test_replication_three_survives_two_node_loss(self):
+        fs = make_fs(num_datanodes=5, replication=3)
+        fs.write("/a", PAYLOAD)
+        fs.fail_node(0, repair=False)
+        fs.fail_node(1, repair=False)
+        assert fs.read("/a") == PAYLOAD
+
+    def test_write_after_unrepaired_failure_avoids_dead_node(self):
+        fs = make_fs()
+        fs.fail_node(2, repair=False)
+        fs.write("/b", PAYLOAD)
+        for replicas in fs.block_locations("/b"):
+            assert 2 not in replicas
+        assert fs.read("/b") == PAYLOAD
+
+    def test_repair_mode_still_raises_on_last_replica_loss(self):
+        fs = make_fs(replication=1)
+        fs.write("/a", b"q" * 64)
+        with pytest.raises(BlockUnavailableError):
+            for node in range(fs.num_datanodes):
+                fs.fail_node(node)

@@ -138,6 +138,34 @@ class TestFuzz:
         assert main(["fuzz"]) == 0
         assert "1 seed(s) [11..11]" in capsys.readouterr().out
 
+    def test_chaos_flag_injects_and_reports_recovery(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--iterations", "2", "--chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "chaos: task_retries=" in out
+
+    def test_chaos_seed_implies_chaos(self, capsys):
+        assert (
+            main(["fuzz", "--seed", "0", "--iterations", "1", "--chaos-seed", "5"])
+            == 0
+        )
+        assert "chaos:" in capsys.readouterr().out
+
+    def test_chaos_env_variable_enables_chaos(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "7")
+        assert main(["fuzz", "--seed", "0", "--iterations", "1"]) == 0
+        assert "chaos:" in capsys.readouterr().out
+
+    def test_chaos_runs_are_seed_deterministic(self, capsys):
+        assert main(["fuzz", "--seed", "2", "--iterations", "1", "--chaos-seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "--seed", "2", "--iterations", "1", "--chaos-seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_chaos_means_no_chaos_line(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--iterations", "1"]) == 0
+        assert "chaos:" not in capsys.readouterr().out
+
 
 class TestParser:
     def test_parser_requires_command(self):
