@@ -170,6 +170,53 @@ class Rya:
         self.last_query_report_ = report
         return ResultSet(tuple(v.name for v in parsed.projection), rows, report)
 
+    def explain(self, query: str | SelectQuery, analyze: bool = False) -> str:
+        """Index-selection EXPLAIN: reordered patterns and chosen indexes.
+
+        Shows Rya's greedy join order and, per pattern, which of the three
+        Accumulo-style indexes (SPO/POS/OSP) serves it and how many triple
+        positions its scan prefix binds (constants plus variables bound by
+        earlier patterns). With ``analyze``, the query executes and a final
+        line reports measured index seeks, entries read, and simulated time.
+        """
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if self.statistics is None:
+            raise RuntimeError("no graph loaded; call load() first")
+        if parsed.is_union:
+            groups = [
+                ("UNION branch", list(branch)) for branch in parsed.union_branches
+            ]
+        else:
+            groups = [("BGP", list(parsed.patterns))]
+            groups += [("OPTIONAL", list(g)) for g in parsed.optional_groups]
+        lines = ["== Index Plan =="]
+        for title, patterns in groups:
+            if len(groups) > 1:
+                lines.append(f"-- {title} --")
+            bound: set[str] = set()
+            for step, pattern in enumerate(self._reorder(patterns), start=1):
+                slots = [
+                    None
+                    if isinstance(slot, Variable) and slot.name not in bound
+                    else "*"  # constant, or bound by an earlier pattern
+                    for slot in (pattern.subject, pattern.predicate, pattern.object)
+                ]
+                table, prefix_parts = _best_index(slots)
+                lines.append(
+                    f"{step}. {pattern}  index={table.upper()} "
+                    f"prefix={len(prefix_parts)}/3 bound"
+                )
+                bound |= {v.name for v in pattern.variables}
+        if analyze:
+            self.sparql(parsed)
+            metrics = self.store.metrics
+            assert self.last_query_report_ is not None
+            lines.append(
+                f"measured: seeks={metrics.seeks} entries={metrics.entries_read} "
+                f"simulated={self.last_query_report_.simulated_sec * 1000:.1f}ms"
+            )
+        return "\n".join(lines)
+
     def last_query_report(self) -> QueryExecutionReport | None:
         return self.last_query_report_
 

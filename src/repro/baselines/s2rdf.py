@@ -321,6 +321,45 @@ class S2Rdf:
         self.last_query_report_ = report
         return ResultSet(tuple(v.name for v in parsed.projection), rows, report)
 
+    def explain(self, query: str | SelectQuery, analyze: bool = False) -> str:
+        """Plan-shape EXPLAIN: per-pattern table choices + the join chain.
+
+        Shows which ExtVP reduction (or plain VP table) answers each triple
+        pattern and the compiled engine plan. With ``analyze``, the query
+        executes under a tracer and the engine plan carries per-operator
+        actual row counts and data-movement bytes.
+        """
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if parsed.optional_groups or parsed.is_union:
+            raise UnsupportedSparqlError(
+                "the S2RDF baseline evaluates plain basic graph patterns only"
+            )
+        assert self.statistics is not None
+        patterns = list(parsed.patterns)
+        lines = ["== Table Choices =="]
+        for pattern in patterns:
+            if isinstance(pattern.predicate, Variable):
+                lines.append(f"{pattern}  ->  VP union (unbound predicate)")
+                continue
+            others = [p for p in patterns if p is not pattern]
+            table, rows, provably_empty = self._table_choice(pattern, others)
+            if provably_empty:
+                lines.append(f"{pattern}  ->  empty reduction (query provably empty)")
+            else:
+                lines.append(f"{pattern}  ->  {table}  est={round(rows)} rows")
+        lines.append("== Engine Plan ==")
+        frame = self.dataframe(parsed)
+        if frame is None:
+            lines.append("(skipped: the empty-table optimization answers the query)")
+        elif analyze:
+            from ..obs.tracer import Tracer
+
+            _, engine_report = frame.collect_with_report(tracer=Tracer())
+            lines.append(engine_report.explain())
+        else:
+            lines.append(frame.explain())
+        return "\n".join(lines)
+
     def last_query_report(self) -> QueryExecutionReport | None:
         return self.last_query_report_
 

@@ -174,6 +174,28 @@ class SparqlGx:
         self.last_query_report_ = report
         return ResultSet(tuple(v.name for v in parsed.projection), rows, report)
 
+    def explain(self, query: str | SelectQuery, analyze: bool = False) -> str:
+        """Plan-shape EXPLAIN of the compiled shuffle-join chain.
+
+        SPARQLGX has no Catalyst, so the *unoptimized* plan is exactly what
+        runs. With ``analyze``, the query executes under a tracer and the
+        plan gains per-operator actual row counts and shuffle bytes.
+        """
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if parsed.optional_groups or parsed.is_union:
+            raise UnsupportedSparqlError(
+                "the SPARQLGX baseline evaluates plain basic graph patterns only"
+            )
+        frame = self.dataframe(parsed)
+        if analyze:
+            from ..obs.tracer import Tracer
+
+            _, engine_report = frame.collect_with_report(
+                run_optimizer=False, tracer=Tracer()
+            )
+            return f"== Engine Plan ==\n{engine_report.explain()}"
+        return f"== Engine Plan ==\n{frame.explain(optimized=False)}"
+
     def last_query_report(self) -> QueryExecutionReport | None:
         return self.last_query_report_
 
@@ -320,6 +342,27 @@ class SparqlGxDirect:
         )
         self.last_query_report_ = report
         return ResultSet(tuple(v.name for v in parsed.projection), rows, report)
+
+    def explain(self, query: str | SelectQuery, analyze: bool = False) -> str:
+        """Plan-shape EXPLAIN: every pattern scans the whole triple file.
+
+        With ``analyze``, the query executes under a tracer and the plan
+        gains per-operator actual row counts and shuffle bytes.
+        """
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if parsed.optional_groups or parsed.is_union:
+            raise UnsupportedSparqlError(
+                "the SPARQLGX-SDE baseline evaluates plain basic graph patterns only"
+            )
+        frame = self.dataframe(parsed)
+        if analyze:
+            from ..obs.tracer import Tracer
+
+            _, engine_report = frame.collect_with_report(
+                run_optimizer=False, tracer=Tracer()
+            )
+            return f"== Engine Plan ==\n{engine_report.explain()}"
+        return f"== Engine Plan ==\n{frame.explain(optimized=False)}"
 
     def last_query_report(self) -> QueryExecutionReport | None:
         return self.last_query_report_

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import statistics
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..core.prost import ProstEngine
@@ -47,27 +48,44 @@ class ModeResult:
         }
 
 
-def _run_mode(mode: str, dataset, queries, repeats: int) -> ModeResult:
-    """Load and run the query mix with cells in the given representation."""
+def _run_mode(mode: str, dataset, queries, repeats: int, tracer=None) -> ModeResult:
+    """Load and run the query mix with cells in the given representation.
+
+    With a tracer, the load and the *first* sample of each query record
+    spans (repeat samples run untraced so medians stay honest).
+    """
     with term_ids(mode == "ids"):
         # A fresh ID space per mode keeps the two runs independent.
         default_dictionary().clear()
         engine = ProstEngine()
-        started = time.perf_counter()
-        engine.load(dataset.graph)
-        load_sec = time.perf_counter() - started
+        mode_cm = (
+            tracer.span("bench_mode", mode=mode)
+            if tracer is not None
+            else nullcontext()
+        )
+        with mode_cm:
+            started = time.perf_counter()
+            engine.load(dataset.graph, tracer=tracer)
+            load_sec = time.perf_counter() - started
 
-        per_query: dict[str, float] = {}
-        rows_returned = 0
-        for query in queries:
-            samples = []
-            for _ in range(repeats):
-                started = time.perf_counter()
-                result = engine.sparql(query.text)
-                samples.append(time.perf_counter() - started)
-            rows_returned += len(result)
-            # Median sample: robust against scheduler noise either way.
-            per_query[query.name] = statistics.median(samples)
+            per_query: dict[str, float] = {}
+            rows_returned = 0
+            for query in queries:
+                samples = []
+                for sample_index in range(repeats):
+                    sample_tracer = tracer if sample_index == 0 else None
+                    query_cm = (
+                        sample_tracer.span("bench_query", name=query.name)
+                        if sample_tracer is not None
+                        else nullcontext()
+                    )
+                    with query_cm:
+                        started = time.perf_counter()
+                        result = engine.sparql(query.text, tracer=sample_tracer)
+                        samples.append(time.perf_counter() - started)
+                rows_returned += len(result)
+                # Median sample: robust against scheduler noise either way.
+                per_query[query.name] = statistics.median(samples)
         return ModeResult(
             mode=mode,
             load_sec=load_sec,
@@ -82,12 +100,13 @@ def run_quick_bench(
     seed: int = 7,
     repeats: int = 5,
     groups: tuple[str, ...] = JOIN_HEAVY_GROUPS,
+    tracer=None,
 ) -> dict:
     """The ``prost-repro bench --quick`` payload (see module docstring)."""
     dataset = generate_watdiv(scale=scale, seed=seed)
     queries = [q for q in basic_query_set(dataset) if q.group in groups]
-    strings = _run_mode("strings", dataset, queries, repeats)
-    ids = _run_mode("ids", dataset, queries, repeats)
+    strings = _run_mode("strings", dataset, queries, repeats, tracer=tracer)
+    ids = _run_mode("ids", dataset, queries, repeats, tracer=tracer)
     speedup = strings.query_sec / ids.query_sec if ids.query_sec > 0 else float("inf")
     return {
         "benchmark": "quick",

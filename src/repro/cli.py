@@ -4,6 +4,8 @@ Installed as ``prost-repro``::
 
     prost-repro generate --scale 300 --out watdiv.nt
     prost-repro query --data watdiv.nt --query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
+    prost-repro explain --data watdiv.nt --query-file q.rq --analyze
+    prost-repro metrics --markdown
     prost-repro benchmark --scale 300 --experiment table2
     prost-repro queries --scale 300 --name C3
     prost-repro fuzz --seed 0 --iterations 50
@@ -38,14 +40,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_query(args: argparse.Namespace) -> str | None:
+    """The SPARQL text from ``--query`` / ``--query-file`` (None = missing)."""
+    if args.query is not None:
+        return args.query
+    if args.query_file is not None:
+        with open(args.query_file, encoding="utf-8") as handle:
+            return handle.read()
+    return None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    if args.query is None and args.query_file is None:
+    query = _read_query(args)
+    if query is None:
         print("error: provide --query or --query-file", file=sys.stderr)
         return 2
-    query = args.query
-    if query is None:
-        with open(args.query_file, encoding="utf-8") as handle:
-            query = handle.read()
 
     graph = Graph.from_file(args.data)
     engine = ProstEngine(num_workers=args.workers, strategy=args.strategy)
@@ -55,11 +64,84 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(engine.explain(query))
         return 0
-    result = engine.sparql(query)
+    tracer = None
+    if args.trace_out:
+        from .obs.tracer import Tracer
+
+        tracer = Tracer()
+    result = engine.sparql(query, tracer=tracer)
     print("\t".join(f"?{name}" for name in result.variables))
     for row in result:
         print("\t".join("" if term is None else term.n3() for term in row))
     print(f"# {len(result)} rows, {result.report.summary()}", file=sys.stderr)
+    if tracer is not None:
+        tracer.write_json(args.trace_out)
+        print(f"# wrote trace to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+#: Engines the ``explain`` subcommand can build, by ``--system`` name.
+EXPLAIN_SYSTEMS = ("prost", "s2rdf", "sparqlgx", "sparqlgx-sde", "rya")
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query = _read_query(args)
+    if query is None:
+        print("error: provide --query or --query-file", file=sys.stderr)
+        return 2
+    if args.trace_out and (not args.analyze or args.system != "prost"):
+        print(
+            "error: --trace-out requires --analyze and --system prost",
+            file=sys.stderr,
+        )
+        return 2
+
+    graph = Graph.from_file(args.data)
+    if args.system == "prost":
+        engine = ProstEngine(num_workers=args.workers, strategy=args.strategy)
+    else:
+        from .baselines import Rya, S2Rdf, SparqlGx, SparqlGxDirect
+
+        if args.system == "rya":
+            engine = Rya(num_tablet_servers=args.workers)
+        else:
+            cls = {
+                "s2rdf": S2Rdf,
+                "sparqlgx": SparqlGx,
+                "sparqlgx-sde": SparqlGxDirect,
+            }[args.system]
+            engine = cls(num_workers=args.workers)
+    load_report = engine.load(graph)
+    print(f"# {load_report.summary()}", file=sys.stderr)
+
+    tracer = None
+    if args.trace_out:
+        from .obs.tracer import Tracer
+
+        tracer = Tracer()
+    if args.system == "prost":
+        print(engine.explain(query, analyze=args.analyze, tracer=tracer))
+    else:
+        print(engine.explain(query, analyze=args.analyze))
+    if tracer is not None:
+        tracer.write_json(args.trace_out)
+        print(f"# wrote trace to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs.metrics import REGISTRY
+
+    if args.markdown:
+        # write(), not print(): the output redirected to docs/METRICS.md
+        # must be byte-identical to the registry rendering.
+        sys.stdout.write(REGISTRY.markdown())
+        return 0
+    for layer in REGISTRY.layers():
+        print(f"[{layer}]")
+        for name in REGISTRY.names(layer):
+            spec = REGISTRY.get(name)
+            print(f"  {spec.name:32} {spec.unit:8} {spec.description}")
     return 0
 
 
@@ -103,10 +185,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.quick:
         print("error: only --quick is implemented so far", file=sys.stderr)
         return 2
-    payload = run_quick_bench(scale=args.scale, seed=args.seed, repeats=args.repeats)
+    tracer = None
+    if args.trace_out:
+        from .obs.tracer import Tracer
+
+        tracer = Tracer()
+    payload = run_quick_bench(
+        scale=args.scale, seed=args.seed, repeats=args.repeats, tracer=tracer
+    )
     write_bench_json(payload, args.out)
     print(render_quick_bench(payload))
     print(f"wrote {args.out}")
+    if tracer is not None:
+        tracer.write_json(args.trace_out)
+        print(f"wrote trace to {args.trace_out}")
     return 0
 
 
@@ -154,6 +246,20 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     for mismatch in report.mismatches:
         print()
         print(mismatch.format())
+    if args.trace_out:
+        import json
+
+        traces = [m.trace for m in report.mismatches if m.trace is not None]
+        if traces:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump({"traces": traces}, handle, indent=2)
+                handle.write("\n")
+            print(
+                f"# wrote {len(traces)} divergence trace(s) to {args.trace_out}",
+                file=sys.stderr,
+            )
+        else:
+            print("# no divergences, no trace written", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -177,7 +283,54 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--strategy", choices=("mixed", "vp"), default="mixed")
     query.add_argument("--workers", type=int, default=9)
     query.add_argument("--explain", action="store_true", help="show plans, don't run")
+    query.add_argument(
+        "--trace-out", metavar="PATH", help="write the span trace of the run as JSON"
+    )
     query.set_defaults(handler=_cmd_query)
+
+    explain = commands.add_parser(
+        "explain",
+        help="render a query's join tree and engine plan (EXPLAIN [ANALYZE])",
+        description="Show how a query would execute: the Join Tree with "
+        "node kinds (PT/VP), priorities, and estimated rows, plus the "
+        "physical engine plan. With --analyze the query actually runs and "
+        "every node gains actual row counts, the executed join strategy "
+        "(colocated/broadcast-hash/shuffle-hash), data-movement bytes, and "
+        "any fault-recovery charges.",
+    )
+    explain.add_argument("--data", required=True, help="N-Triples input file")
+    explain.add_argument("--query", help="SPARQL text")
+    explain.add_argument("--query-file", help="file containing the SPARQL text")
+    explain.add_argument("--strategy", choices=("mixed", "vp"), default="mixed")
+    explain.add_argument("--workers", type=int, default=9)
+    explain.add_argument(
+        "--system",
+        choices=EXPLAIN_SYSTEMS,
+        default="prost",
+        help="which engine's plan to show (default: prost)",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true", help="execute and annotate with actuals"
+    )
+    explain.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="also write the span trace as JSON (requires --analyze, prost)",
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="print the metrics contract (every documented counter)",
+        description="List every counter the engine, fault-injection, HDFS, "
+        "and cost layers emit, with units and documentation. --markdown "
+        "emits the exact content of docs/METRICS.md (a test keeps the file "
+        "in sync with this output).",
+    )
+    metrics.add_argument(
+        "--markdown", action="store_true", help="emit docs/METRICS.md content"
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     queries = commands.add_parser("queries", help="print the WatDiv basic query set")
     queries.add_argument("--scale", type=int, default=300)
@@ -214,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--repeats", type=int, default=5, help="samples per query (median)")
     bench.add_argument("--out", default="BENCH_engine.json", help="output JSON path")
+    bench.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a span trace (loads + first sample per query) as JSON",
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     fuzz = commands.add_parser(
@@ -262,6 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-on-first", action="store_true", help="stop at the first failing seed"
     )
     fuzz.add_argument("--verbose", action="store_true", help="per-seed progress on stderr")
+    fuzz.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the span traces of diverging counterexamples as JSON",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 

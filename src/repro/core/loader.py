@@ -13,6 +13,7 @@ shrinks the NULL-heavy Property Table exactly as Parquet does for PRoST.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..columnar.schema import ColumnSchema, TableSchema
@@ -299,6 +300,11 @@ def estimate_load_seconds(
     return rescan_sec + job_overhead_sec + write_sec + shuffle_sec + cpu_sec
 
 
+def _maybe_span(tracer, name: str, **attrs):
+    """A tracer span when tracing, a no-op context manager otherwise."""
+    return tracer.span(name, **attrs) if tracer is not None else nullcontext()
+
+
 def load_prost_store(
     graph: Graph,
     session: EngineSession | None = None,
@@ -307,6 +313,7 @@ def load_prost_store(
     include_object_property_table: bool = False,
     allowed_encodings: tuple[str, ...] | None = None,
     compress_pages: bool = True,
+    tracer=None,
 ) -> ProstStore:
     """Load a graph into a fresh (or given) engine session, PRoST-style.
 
@@ -317,35 +324,47 @@ def load_prost_store(
             object-keyed PT (paper §5).
         allowed_encodings: restrict columnar encodings (the encoding ablation
             passes ``("plain",)``).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; each loading
+            phase (statistics, VP tables, property tables) gets a span.
     """
     session = session or EngineSession()
     started = time.perf_counter()
-    statistics = collect_statistics(graph, level=statistics_level)
-    # Persist the statistics next to the data, as PRoST's loader does, so a
-    # later session can translate without re-scanning the graph.
-    save_statistics(session.hdfs, "/prost/statistics.json", statistics)
-    store = ProstStore(session=session, statistics=statistics)
-    store.vp_tables = load_vertical_partitioning(
-        session, graph, allowed_encodings=allowed_encodings,
-        compress_pages=compress_pages,
-    )
-    tables_written = len(store.vp_tables)
-    shuffles = 1  # group by predicate
-    if include_property_table:
-        store.property_table = load_property_table(
-            session, graph, statistics, allowed_encodings=allowed_encodings,
-            compress_pages=compress_pages,
-        )
-        tables_written += 1
-        shuffles += 1  # group by subject
-    object_pt: PropertyTableInfo | None = None
-    if include_object_property_table:
-        object_pt = load_object_property_table(
-            session, graph, statistics, allowed_encodings=allowed_encodings
-        )
-        tables_written += 1
-        shuffles += 1  # group by object
-    store.object_property_table = object_pt
+    with _maybe_span(tracer, "load", triples=len(graph)):
+        with _maybe_span(tracer, "collect_statistics", level=statistics_level):
+            statistics = collect_statistics(graph, level=statistics_level)
+            # Persist the statistics next to the data, as PRoST's loader
+            # does, so a later session can translate without re-scanning
+            # the graph.
+            save_statistics(session.hdfs, "/prost/statistics.json", statistics)
+        store = ProstStore(session=session, statistics=statistics)
+        with _maybe_span(tracer, "load_vertical_partitioning") as vp_span:
+            store.vp_tables = load_vertical_partitioning(
+                session, graph, allowed_encodings=allowed_encodings,
+                compress_pages=compress_pages,
+            )
+            if vp_span is not None:
+                vp_span.set("tables", len(store.vp_tables))
+        tables_written = len(store.vp_tables)
+        shuffles = 1  # group by predicate
+        if include_property_table:
+            with _maybe_span(tracer, "load_property_table") as pt_span:
+                store.property_table = load_property_table(
+                    session, graph, statistics, allowed_encodings=allowed_encodings,
+                    compress_pages=compress_pages,
+                )
+                if pt_span is not None:
+                    pt_span.set("rows", store.property_table.row_count)
+            tables_written += 1
+            shuffles += 1  # group by subject
+        object_pt: PropertyTableInfo | None = None
+        if include_object_property_table:
+            with _maybe_span(tracer, "load_object_property_table"):
+                object_pt = load_object_property_table(
+                    session, graph, statistics, allowed_encodings=allowed_encodings
+                )
+            tables_written += 1
+            shuffles += 1  # group by object
+        store.object_property_table = object_pt
     stored = session.catalog.total_stored_bytes()
     report = LoadReport(
         system="PRoST" if include_property_table else "PRoST (VP only)",

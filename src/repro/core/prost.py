@@ -14,6 +14,7 @@ Partitioning. ``strategy="vp"`` reproduces the VP-only baseline of Figure 2.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from ..engine.cluster import ClusterConfig, SimulatedCluster
 from ..engine.dataframe import DataFrame
@@ -72,7 +73,7 @@ class ProstEngine:
 
     # -- loading -----------------------------------------------------------------
 
-    def load(self, graph: Graph) -> LoadReport:
+    def load(self, graph: Graph, tracer=None) -> LoadReport:
         """Load a graph: build VP tables, the PT, and the statistics."""
         self.store = load_prost_store(
             graph,
@@ -80,6 +81,7 @@ class ProstEngine:
             statistics_level=self.statistics_level,
             include_property_table=self.strategy == "mixed",
             include_object_property_table=self.use_object_property_table,
+            tracer=tracer,
         )
         self._translator = JoinTreeTranslator(
             self.store.statistics,
@@ -183,27 +185,56 @@ class ProstEngine:
             )
         return frame.join(optional_frame, on=shared, how="left"), tree.describe()
 
-    def sparql(self, query: str | SelectQuery) -> ResultSet:
-        """Execute a SELECT query and return decoded solutions."""
+    def sparql(self, query: str | SelectQuery, tracer=None) -> ResultSet:
+        """Execute a SELECT query and return decoded solutions.
+
+        With a ``tracer``, the run records spans for planning, every
+        physical operator, and result finalization; the returned report
+        carries the query's root span plus a pre-rendered EXPLAIN ANALYZE
+        text (when the span tree aligns with the Join Tree).
+        """
         parsed = parse_sparql(query) if isinstance(query, str) else query
         started = time.perf_counter()
-        frame, tree_description = self.dataframe(parsed)
-        encoded_rows, engine_report = frame.collect_with_report()
-        if ids_enabled():
-            # Order (and OFFSET/LIMIT-slice) the *encoded* rows first: the
-            # dictionary memoizes one sort key per ID, and rows dropped by
-            # LIMIT are never decoded at all.
-            encoded_rows = _apply_modifiers_encoded(parsed, encoded_rows)
-            rows = [decode_row(row) for row in encoded_rows]
-        else:
-            rows = [decode_row(row) for row in encoded_rows]
-            rows = _apply_modifiers(parsed, rows)
+        query_cm = (
+            tracer.span("query", engine=self.name)
+            if tracer is not None
+            else nullcontext()
+        )
+        with query_cm as query_span:
+            plan_cm = tracer.span("plan") if tracer is not None else nullcontext()
+            with plan_cm:
+                frame, tree_description = self.dataframe(parsed)
+            encoded_rows, engine_report = frame.collect_with_report(tracer=tracer)
+            final_cm = (
+                tracer.span("finalize") if tracer is not None else nullcontext()
+            )
+            with final_cm:
+                if ids_enabled():
+                    # Order (and OFFSET/LIMIT-slice) the *encoded* rows
+                    # first: the dictionary memoizes one sort key per ID,
+                    # and rows dropped by LIMIT are never decoded at all.
+                    encoded_rows = _apply_modifiers_encoded(parsed, encoded_rows)
+                    rows = [decode_row(row) for row in encoded_rows]
+                else:
+                    rows = [decode_row(row) for row in encoded_rows]
+                    rows = _apply_modifiers(parsed, rows)
         wall = time.perf_counter() - started
+        explain_text = None
+        if tracer is not None:
+            if query_span is not None:
+                query_span.set("rows", len(rows))
+            explain_text = (
+                f"== Join Tree ==\n"
+                f"{self._explain_tree_text(parsed, engine_report.trace)}\n"
+                f"== Engine Plan ==\n{engine_report.explain()}"
+            )
         report = QueryExecutionReport(
             simulated_sec=engine_report.simulated_sec,
             wall_clock_sec=wall,
             join_tree=tree_description,
             engine_report=engine_report,
+            trace=query_span,
+            explain_text=explain_text,
         )
         self.last_query_report_ = report
         variables = tuple(variable.name for variable in parsed.projection)
@@ -214,13 +245,61 @@ class ProstEngine:
         parsed = parse_sparql(query) if isinstance(query, str) else query
         return len(self.sparql(parsed)) > 0
 
-    def explain(self, query: str | SelectQuery) -> str:
-        """Join tree plus optimized engine plan, as text."""
-        frame, tree_description = self.dataframe(query)
-        return (
-            f"== Join Tree ==\n{tree_description}\n"
-            f"== Engine Plan ==\n{frame.explain()}"
-        )
+    def _explain_tree_text(self, parsed: SelectQuery, engine_trace=None) -> str:
+        """Render the Join Tree(s), runtime-annotated when alignable.
+
+        ``engine_trace`` is the root physical-operator span of a traced run;
+        alignment is only attempted for plain BGP queries (OPTIONAL/UNION
+        span shapes fall back to estimate-only annotations).
+        """
+        from ..obs.explain import align_spans, render_join_tree
+
+        store = self._require_store()
+        assert self._translator is not None
+        statistics = store.statistics
+        config = self.session.config
+        if parsed.is_union:
+            return "\nUNION:\n".join(
+                render_join_tree(
+                    self._translator.translate_bgp(branch), statistics, config
+                )
+                for branch in parsed.union_branches
+            )
+        tree = self._translator.translate_bgp(parsed.patterns)
+        runtime = None
+        if engine_trace is not None and not parsed.optional_groups:
+            runtime = align_spans(tree, engine_trace)
+        text = render_join_tree(tree, statistics, config, runtime)
+        for group in parsed.optional_groups:
+            optional_tree = self._translator.translate_bgp(group)
+            text += "\nOPTIONAL:\n" + render_join_tree(
+                optional_tree, statistics, config
+            )
+        return text
+
+    def explain(self, query: str | SelectQuery, analyze: bool = False, tracer=None) -> str:
+        """Join tree plus engine plan, as text (EXPLAIN / EXPLAIN ANALYZE).
+
+        Args:
+            analyze: execute the query and annotate the tree with actual row
+                counts, executed join strategies, shuffled/broadcast bytes,
+                and recovery charges.
+            tracer: with ``analyze``, record the run into this tracer instead
+                of a throwaway one (so callers can also dump the JSON trace).
+        """
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if not analyze:
+            frame, _ = self.dataframe(parsed)
+            return (
+                f"== Join Tree ==\n{self._explain_tree_text(parsed)}\n"
+                f"== Engine Plan ==\n{frame.explain()}"
+            )
+        from ..obs.tracer import Tracer
+
+        result = self.sparql(parsed, tracer=tracer if tracer is not None else Tracer())
+        text = result.report.explain_text
+        assert text is not None
+        return text
 
     def last_query_report(self) -> QueryExecutionReport | None:
         """The report of the most recent :meth:`sparql` call."""

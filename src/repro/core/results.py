@@ -20,18 +20,39 @@ class QueryExecutionReport:
             ran on the DataFrame engine.
         simulated_sec: cost-model cluster time.
         wall_clock_sec: local Python execution time.
+        trace: root :class:`~repro.obs.tracer.Span` of the whole query when
+            it ran under a tracer (``None`` otherwise).
+        explain_text: pre-rendered EXPLAIN ANALYZE text (Join Tree with
+            actuals + engine plan) when the run was traced and alignable.
     """
 
     simulated_sec: float
     wall_clock_sec: float
     join_tree: str | None = None
     engine_report: QueryReport | None = None
+    trace: object | None = None
+    explain_text: str | None = None
 
     def summary(self) -> str:
         parts = [f"simulated={self.simulated_sec * 1000:.1f}ms"]
         if self.engine_report is not None:
             parts.append(self.engine_report.summary())
         return " ".join(parts)
+
+    def explain(self) -> str:
+        """The best available EXPLAIN text for this run.
+
+        Traced runs return the full EXPLAIN ANALYZE rendering; untraced
+        runs fall back to the Join Tree description plus the engine plan.
+        """
+        if self.explain_text is not None:
+            return self.explain_text
+        parts = []
+        if self.join_tree is not None:
+            parts.append(f"== Join Tree ==\n{self.join_tree}")
+        if self.engine_report is not None:
+            parts.append(f"== Engine Plan ==\n{self.engine_report.explain()}")
+        return "\n".join(parts) if parts else "(no plan information recorded)"
 
 
 class ResultSet:

@@ -38,10 +38,12 @@ class StoredTable:
 
     @property
     def schema(self) -> TableSchema:
+        """Schema of the stored data."""
         return self.data.schema
 
     @property
     def row_count(self) -> int:
+        """Rows in the stored table."""
         return self.data.num_rows
 
     def scan_bytes(self, columns: tuple[str, ...] | None = None) -> int:
@@ -93,6 +95,7 @@ class Catalog:
         return table
 
     def has(self, name: str) -> bool:
+        """Whether a table with this name is registered."""
         return name in self._tables
 
     def drop(self, name: str) -> None:
@@ -106,6 +109,7 @@ class Catalog:
         del self._tables[name]
 
     def names(self) -> list[str]:
+        """All registered table names, sorted."""
         return sorted(self._tables)
 
     def total_stored_bytes(self) -> int:

@@ -86,6 +86,7 @@ class ClusterConfig:
 
     @property
     def default_partitions(self) -> int:
+        """Partition count for shuffles and loaded tables."""
         return self.num_workers * self.partitions_per_worker
 
 
@@ -198,6 +199,7 @@ class CostBreakdown:
 
     @property
     def total_sec(self) -> float:
+        """Simulated end-to-end seconds (sum of all components)."""
         return (
             self.scan_sec
             + self.cpu_sec

@@ -26,6 +26,7 @@ class HashPartitioner:
     num_partitions: int
 
     def partition_for(self, key: tuple) -> int:
+        """Partition index a row with this key hashes to."""
         return stable_hash(key) % self.num_partitions
 
 
@@ -85,10 +86,12 @@ class PartitionedData:
 
     @property
     def num_partitions(self) -> int:
+        """How many partitions the data is split into."""
         return len(self.partitions)
 
     @property
     def num_rows(self) -> int:
+        """Total rows across all partitions (cached)."""
         if self._num_rows is None:
             self._num_rows = sum(len(partition) for partition in self.partitions)
         return self._num_rows

@@ -39,10 +39,12 @@ class DataFrame:
 
     @property
     def schema(self):
+        """Schema the plan produces."""
         return self.plan.schema
 
     @property
     def columns(self) -> tuple[str, ...]:
+        """Output column names, in order."""
         return self.plan.schema.names
 
     # -- transformations ---------------------------------------------------------
@@ -99,6 +101,7 @@ class DataFrame:
         return DataFrame(self.session, Explode(self.plan, column, output_name))
 
     def distinct(self) -> "DataFrame":
+        """Drop duplicate rows."""
         return DataFrame(self.session, Distinct(self.plan))
 
     def group_aggregate(
@@ -128,26 +131,35 @@ class DataFrame:
         return DataFrame(self.session, Sort(self.plan, normalized))
 
     def limit(self, count: int | None, offset: int = 0) -> "DataFrame":
+        """Keep ``count`` rows after skipping ``offset`` (None = no cap)."""
         return DataFrame(self.session, Limit(self.plan, count, offset))
 
     def union(self, other: "DataFrame") -> "DataFrame":
+        """Concatenate with another frame of the same schema."""
         if other.session is not self.session:
             raise PlanError("cannot union DataFrames from different sessions")
         return DataFrame(self.session, Union((self.plan, other.plan)))
 
     # -- actions -----------------------------------------------------------------
 
-    def collect(self, run_optimizer: bool = True) -> list[tuple]:
+    def collect(self, run_optimizer: bool = True, tracer=None) -> list[tuple]:
         """Execute the plan and gather all rows on the driver."""
-        data, _ = self.session.execute(self.plan, run_optimizer=run_optimizer)
+        data, _ = self.session.execute(
+            self.plan, run_optimizer=run_optimizer, tracer=tracer
+        )
         return data.all_rows()
 
-    def collect_with_report(self, run_optimizer: bool = True) -> tuple[list[tuple], QueryReport]:
+    def collect_with_report(
+        self, run_optimizer: bool = True, tracer=None
+    ) -> tuple[list[tuple], QueryReport]:
         """Execute and also return the :class:`QueryReport`."""
-        data, report = self.session.execute(self.plan, run_optimizer=run_optimizer)
+        data, report = self.session.execute(
+            self.plan, run_optimizer=run_optimizer, tracer=tracer
+        )
         return data.all_rows(), report
 
     def count(self) -> int:
+        """Execute the plan and return its row count."""
         data, _ = self.session.execute(self.plan)
         return data.num_rows
 

@@ -46,6 +46,23 @@ from .logical import (
 )
 
 
+#: Machine-readable ``op`` tag per logical plan class, attached to trace
+#: spans so EXPLAIN ANALYZE can align the span tree with the Join Tree.
+_SPAN_OPS = {
+    "TableScan": "scan",
+    "InMemoryRelation": "local",
+    "Filter": "filter",
+    "Project": "project",
+    "Join": "join",
+    "Explode": "explode",
+    "Distinct": "distinct",
+    "Sort": "sort",
+    "Limit": "limit",
+    "Union": "union",
+    "Aggregate": "aggregate",
+}
+
+
 class PhysicalExecutor:
     """Executes logical plans against a catalog under a cluster config."""
 
@@ -53,37 +70,70 @@ class PhysicalExecutor:
         self.catalog = catalog
         self.config = config
 
-    def execute(self, plan: LogicalPlan, metrics: ExecutionMetrics) -> PartitionedData:
-        """Run ``plan`` and return its materialized output."""
-        result = self._run(plan, metrics)
+    def execute(
+        self, plan: LogicalPlan, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        """Run ``plan`` and return its materialized output.
+
+        With a :class:`~repro.obs.tracer.Tracer` attached, every operator
+        records a span carrying its output cardinality and the deltas of
+        every registry counter it charged (see :mod:`repro.obs.metrics`).
+        """
+        result = self._run(plan, metrics, tracer)
         metrics.rows_output = result.num_rows
         return result
 
     # -- dispatch -------------------------------------------------------------
 
-    def _run(self, plan: LogicalPlan, metrics: ExecutionMetrics) -> PartitionedData:
+    def _run(
+        self, plan: LogicalPlan, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        if tracer is None:
+            return self._dispatch(plan, metrics, None, None)
+        # Imported lazily: the engine layer sits below obs in the module
+        # graph, and untraced runs never touch it.
+        from ..obs.metrics import snapshot_execution_metrics
+
+        kind = type(plan).__name__
+        op = _SPAN_OPS.get(kind, kind.lower())
+        if isinstance(plan, Join) and plan.how == "cross":
+            op = "cross"
+        with tracer.span(kind, op=op, detail=plan._describe_line()) as span:
+            before = snapshot_execution_metrics(metrics)
+            events_before = len(metrics.fault_events)
+            result = self._dispatch(plan, metrics, tracer, span)
+            span.set("rows_out", result.num_rows)
+            span.set("partitions", result.num_partitions)
+            span.record_counters(before, snapshot_execution_metrics(metrics))
+            if len(metrics.fault_events) > events_before:
+                span.set("fault_events", list(metrics.fault_events[events_before:]))
+        return result
+
+    def _dispatch(
+        self, plan: LogicalPlan, metrics: ExecutionMetrics, tracer, span
+    ) -> PartitionedData:
         if isinstance(plan, TableScan):
             return self._scan(plan, metrics)
         if isinstance(plan, InMemoryRelation):
             return self._local(plan, metrics)
         if isinstance(plan, Filter):
-            return self._filter(plan, metrics)
+            return self._filter(plan, metrics, tracer)
         if isinstance(plan, Project):
-            return self._project(plan, metrics)
+            return self._project(plan, metrics, tracer)
         if isinstance(plan, Join):
-            return self._join(plan, metrics)
+            return self._join(plan, metrics, tracer, span)
         if isinstance(plan, Explode):
-            return self._explode(plan, metrics)
+            return self._explode(plan, metrics, tracer)
         if isinstance(plan, Distinct):
-            return self._distinct(plan, metrics)
+            return self._distinct(plan, metrics, tracer)
         if isinstance(plan, Sort):
-            return self._sort(plan, metrics)
+            return self._sort(plan, metrics, tracer)
         if isinstance(plan, Limit):
-            return self._limit(plan, metrics)
+            return self._limit(plan, metrics, tracer)
         if isinstance(plan, Union):
-            return self._union(plan, metrics)
+            return self._union(plan, metrics, tracer)
         if isinstance(plan, Aggregate):
-            return self._aggregate(plan, metrics)
+            return self._aggregate(plan, metrics, tracer)
         raise PlanError(f"no physical implementation for {type(plan).__name__}")
 
     # -- leaves ---------------------------------------------------------------
@@ -127,8 +177,10 @@ class PhysicalExecutor:
 
     # -- narrow operators --------------------------------------------------------
 
-    def _filter(self, plan: Filter, metrics: ExecutionMetrics) -> PartitionedData:
-        child = self._run(plan.child, metrics)
+    def _filter(
+        self, plan: Filter, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        child = self._run(plan.child, metrics, tracer)
         predicate = plan.condition.bind(child.schema)
         metrics.narrow_rows_processed += child.num_rows
         metrics.record_stage(
@@ -137,8 +189,10 @@ class PhysicalExecutor:
         partitions = [[row for row in part if predicate(row)] for part in child.partitions]
         return PartitionedData(child.schema, partitions, child.partitioner)
 
-    def _project(self, plan: Project, metrics: ExecutionMetrics) -> PartitionedData:
-        child = self._run(plan.child, metrics)
+    def _project(
+        self, plan: Project, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        child = self._run(plan.child, metrics, tracer)
         metrics.narrow_rows_processed += child.num_rows
         metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
         # Pure column shuffles (the overwhelmingly common projection) run as
@@ -156,8 +210,10 @@ class PhysicalExecutor:
         partitioner = _project_partitioner(plan, child.partitioner)
         return PartitionedData(plan.schema, partitions, partitioner)
 
-    def _explode(self, plan: Explode, metrics: ExecutionMetrics) -> PartitionedData:
-        child = self._run(plan.child, metrics)
+    def _explode(
+        self, plan: Explode, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        child = self._run(plan.child, metrics, tracer)
         index = child.schema.index_of(plan.column)
         metrics.narrow_rows_processed += child.num_rows
         metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
@@ -184,10 +240,14 @@ class PhysicalExecutor:
 
     # -- joins ---------------------------------------------------------------------
 
-    def _join(self, plan: Join, metrics: ExecutionMetrics) -> PartitionedData:
-        left = self._run(plan.left, metrics)
-        right = self._run(plan.right, metrics)
+    def _join(
+        self, plan: Join, metrics: ExecutionMetrics, tracer=None, span=None
+    ) -> PartitionedData:
+        left = self._run(plan.left, metrics, tracer)
+        right = self._run(plan.right, metrics, tracer)
         if plan.how == "cross":
+            if span is not None:
+                span.set("strategy", "cartesian")
             return self._cross_join(plan, left, right, metrics)
         keys = plan.on
         left_key_idx = [left.schema.index_of(k) for k in keys]
@@ -199,6 +259,17 @@ class PhysicalExecutor:
         left_bytes = left.estimated_bytes()
         right_bytes = right.estimated_bytes()
         strategy = self._choose_strategy(plan, left, right, left_bytes, right_bytes, keys)
+        if span is not None:
+            span.set("on", list(keys))
+            span.set("how", plan.how)
+            span.set(
+                "strategy",
+                {
+                    "colocated": "colocated",
+                    "broadcast": "broadcast-hash",
+                    "shuffle": "shuffle-hash",
+                }[strategy],
+            )
 
         # Work is charged before the stage is recorded: the fault injector
         # attributes the counter delta since the previous stage to this one.
@@ -217,6 +288,8 @@ class PhysicalExecutor:
             # replicated — i.e. the right side.
             small_is_right = right_bytes <= left_bytes or plan.how != "inner"
             small_bytes = right_bytes if small_is_right else left_bytes
+            if span is not None:
+                span.set("build", "right" if small_is_right else "left")
             metrics.broadcast_bytes += small_bytes
             metrics.broadcast_count += 1
             metrics.record_stage(
@@ -318,8 +391,10 @@ class PhysicalExecutor:
 
     # -- wide operators -----------------------------------------------------------
 
-    def _distinct(self, plan: Distinct, metrics: ExecutionMetrics) -> PartitionedData:
-        child = self._run(plan.child, metrics)
+    def _distinct(
+        self, plan: Distinct, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        child = self._run(plan.child, metrics, tracer)
         all_columns = tuple(child.schema.names)
         if child.is_partitioned_on(all_columns):
             partitions = child.partitions
@@ -345,8 +420,10 @@ class PhysicalExecutor:
             deduped.append(out)
         return PartitionedData(child.schema, deduped, partitioner)
 
-    def _sort(self, plan: Sort, metrics: ExecutionMetrics) -> PartitionedData:
-        child = self._run(plan.child, metrics)
+    def _sort(
+        self, plan: Sort, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        child = self._run(plan.child, metrics, tracer)
         rows = child.all_rows()
         metrics.rows_processed += len(rows)
         metrics.shuffle_bytes += child.estimated_bytes()  # gather to driver
@@ -356,8 +433,10 @@ class PhysicalExecutor:
             rows.sort(key=lambda row: _sort_key(row[index]), reverse=descending)
         return PartitionedData(child.schema, [rows])
 
-    def _limit(self, plan: Limit, metrics: ExecutionMetrics) -> PartitionedData:
-        child = self._run(plan.child, metrics)
+    def _limit(
+        self, plan: Limit, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        child = self._run(plan.child, metrics, tracer)
         rows = child.all_rows()
         metrics.record_stage(tasks=1, note=plan._describe_line())
         rows = rows[plan.offset :]
@@ -365,14 +444,16 @@ class PhysicalExecutor:
             rows = rows[: plan.count]
         return PartitionedData(child.schema, [rows])
 
-    def _aggregate(self, plan: Aggregate, metrics: ExecutionMetrics) -> PartitionedData:
+    def _aggregate(
+        self, plan: Aggregate, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
         """Hash aggregation with map-side partial aggregation.
 
         Each input partition pre-aggregates locally (Spark's partial
         aggregate), then only the per-group partial states shuffle — the
         reason COUNT-style queries are cheap even over big inputs.
         """
-        child = self._run(plan.child, metrics)
+        child = self._run(plan.child, metrics, tracer)
         key_idx = [child.schema.index_of(key) for key in plan.keys]
         input_idx = [
             child.schema.index_of(spec.input_column)
@@ -449,8 +530,10 @@ class PhysicalExecutor:
         )
         return PartitionedData(plan.schema, partitions, partitioner)
 
-    def _union(self, plan: Union, metrics: ExecutionMetrics) -> PartitionedData:
-        results = [self._run(child, metrics) for child in plan.inputs]
+    def _union(
+        self, plan: Union, metrics: ExecutionMetrics, tracer=None
+    ) -> PartitionedData:
+        results = [self._run(child, metrics, tracer) for child in plan.inputs]
         metrics.record_stage(tasks=len(results), note="Union")
         partitions: list[list[tuple]] = []
         for result in results:

@@ -71,9 +71,11 @@ class Expression:
         return id(self)
 
     def is_not_null(self) -> "Expression":
+        """SQL ``IS NOT NULL``."""
         return NotNull(self)
 
     def is_null(self) -> "Expression":
+        """SQL ``IS NULL``."""
         return Not(NotNull(self))
 
     def contains_element(self, value) -> "Expression":
@@ -81,6 +83,7 @@ class Expression:
         return ArrayContains(self, _as_expression(value))
 
     def rlike(self, pattern: str) -> "Expression":
+        """Regex match (Spark's ``rlike``)."""
         return RegexMatch(self, pattern)
 
 

@@ -25,10 +25,12 @@ class LogicalPlan:
 
     @property
     def schema(self) -> TableSchema:
+        """Output schema of the operator."""
         raise NotImplementedError
 
     @property
     def children(self) -> tuple["LogicalPlan", ...]:
+        """Input plans, left to right (empty for leaves)."""
         raise NotImplementedError
 
     def describe(self, indent: int = 0) -> str:

@@ -31,12 +31,28 @@ class QueryReport:
     metrics: ExecutionMetrics
     cost: CostBreakdown
     wall_clock_sec: float
+    #: Root physical-operator span when the plan ran under a tracer.
+    trace: object | None = None
 
     @property
     def simulated_sec(self) -> float:
+        """Simulated cluster seconds (cost-model total)."""
         return self.cost.total_sec
 
+    def explain(self) -> str:
+        """The executed physical plan, annotated with traced actuals.
+
+        Falls back to the optimizer's plan description when the run was not
+        traced (``EXPLAIN`` vs ``EXPLAIN ANALYZE`` at the engine level).
+        """
+        if self.trace is None:
+            return self.optimized_plan
+        from ..obs.explain import render_span_tree
+
+        return render_span_tree(self.trace)
+
     def summary(self) -> str:
+        """One-line digest of the run's work counters."""
         m = self.metrics
         text = (
             f"rows={m.rows_output} stages={m.stages} "
@@ -73,6 +89,7 @@ class EngineSession:
 
     @property
     def config(self) -> ClusterConfig:
+        """The cluster configuration this session runs under."""
         return self.cluster.config
 
     # -- table management --------------------------------------------------------
@@ -142,20 +159,40 @@ class EngineSession:
 
     # -- execution ------------------------------------------------------------------
 
-    def execute(self, plan: LogicalPlan, run_optimizer: bool = True) -> tuple[PartitionedData, QueryReport]:
-        """Optimize (unless disabled), run, and cost a logical plan."""
-        optimized = optimize(plan) if run_optimizer else plan
+    def execute(
+        self, plan: LogicalPlan, run_optimizer: bool = True, tracer=None
+    ) -> tuple[PartitionedData, QueryReport]:
+        """Optimize (unless disabled), run, and cost a logical plan.
+
+        With a tracer attached, the optimizer pass gets its own span, every
+        physical operator records one, and the report carries the root
+        operator span (``QueryReport.trace``) for EXPLAIN ANALYZE alignment.
+        """
+        if tracer is None:
+            optimized = optimize(plan) if run_optimizer else plan
+            trace_container = None
+            spans_before = 0
+        else:
+            with tracer.span("optimize", enabled=run_optimizer):
+                optimized = optimize(plan) if run_optimizer else plan
+            parent = tracer.current
+            trace_container = parent.children if parent is not None else tracer.roots
+            spans_before = len(trace_container)
         metrics = self.cluster.new_query_metrics()
         started = time.perf_counter()
-        result = self._executor.execute(optimized, metrics)
+        result = self._executor.execute(optimized, metrics, tracer)
         wall = time.perf_counter() - started
         cost = self.cluster.finish_query(metrics)
+        trace_root = None
+        if trace_container is not None and len(trace_container) > spans_before:
+            trace_root = trace_container[spans_before]
         report = QueryReport(
             logical_plan=plan.describe(),
             optimized_plan=optimized.describe(),
             metrics=metrics,
             cost=cost,
             wall_clock_sec=wall,
+            trace=trace_root,
         )
         self.last_report = report
         return result, report

@@ -1,0 +1,165 @@
+"""Zero-dependency span tracing.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per traced
+operation — with wall-clock timings, free-form attributes, and *counter
+deltas* (how much each :mod:`repro.obs.metrics` counter grew while the span
+was open). Spans nest through a context-manager stack, so the layers of one
+query (load → translate → optimize → each physical operator) compose into a
+single tree aligned with the physical plan, serializable to JSON with
+:meth:`Tracer.to_dict` / :meth:`Tracer.write_json`.
+
+The tracer is pure bookkeeping: no threads, no globals, no I/O until asked.
+An untraced run pays nothing — every producer takes ``tracer=None`` and
+skips all recording when no tracer is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One traced operation: a name, attributes, children, and timings.
+
+    Attributes:
+        name: operator or phase name (e.g. ``Join``, ``translate``).
+        attrs: free-form details (``op``, ``strategy``, ``rows_out``, ...).
+        counters: registry-named counter deltas accumulated while the span
+            was open (only non-zero deltas are kept).
+        children: sub-spans, in start order.
+        started_sec / ended_sec: ``time.perf_counter`` timestamps.
+    """
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    started_sec: float = 0.0
+    ended_sec: float = 0.0
+
+    @property
+    def duration_sec(self) -> float:
+        """Wall-clock seconds the span was open."""
+        return max(0.0, self.ended_sec - self.started_sec)
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def record_counters(self, before: dict, after: dict) -> None:
+        """Store the non-zero deltas between two counter snapshots."""
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                self.counters[name] = self.counters.get(name, 0) + delta
+
+    def walk(self):
+        """Yield this span and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """The first span (preorder) with the given name, or ``None``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the subtree."""
+        payload: dict = {
+            "name": self.name,
+            "duration_ms": round(self.duration_sec * 1000, 3),
+        }
+        if self.attrs:
+            payload["attrs"] = _jsonable(self.attrs)
+        if self.counters:
+            payload["counters"] = _jsonable(self.counters)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+
+class Tracer:
+    """Collects a forest of spans through a context-manager stack.
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("execute", query="C3") as span:
+            with tracer.span("Scan"):
+                ...
+            span.set("rows_out", 42)
+        tracer.write_json("trace.json")
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, /, **attrs):
+        """Open a child span of the current span (or a new root)."""
+        span = Span(name=name, attrs=dict(attrs))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.started_sec = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.ended_sec = time.perf_counter()
+            self._stack.pop()
+
+    def event(self, name: str, /, **attrs) -> Span:
+        """Record an instantaneous (zero-duration) span."""
+        now = time.perf_counter()
+        span = Span(name=name, attrs=dict(attrs), started_sec=now, ended_sec=now)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def to_dict(self) -> dict:
+        """The whole trace as one JSON-ready dictionary."""
+        return {"spans": [span.to_dict() for span in self.roots]}
+
+    def to_json(self, indent: int = 2) -> str:
+        """The whole trace serialized as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str, indent: int = 2) -> None:
+        """Write the trace to ``path`` as JSON (with a trailing newline)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=indent))
+            handle.write("\n")
+
+
+def _jsonable(mapping: dict) -> dict:
+    """Coerce attribute values into JSON-serializable shapes."""
+    out = {}
+    for key, value in mapping.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [
+                item if isinstance(item, (str, int, float, bool)) or item is None
+                else str(item)
+                for item in value
+            ]
+        else:
+            out[key] = str(value)
+    return out

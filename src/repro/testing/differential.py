@@ -11,6 +11,7 @@ graph, the shrunken query, and a one-command replay line.
 
 from __future__ import annotations
 
+import inspect
 import os
 import random
 from collections import Counter
@@ -158,6 +159,9 @@ class DifferentialMismatch:
     expected: list[tuple] = field(default_factory=list)
     actual: list[tuple] = field(default_factory=list)
     chaos_seed: int | None = None
+    #: JSON-ready span trace of the shrunken counterexample's re-run, when
+    #: the diverging system supports tracing (``Tracer.to_dict()`` shape).
+    trace: dict | None = None
 
     @property
     def replay_command(self) -> str:
@@ -183,6 +187,11 @@ class DifferentialMismatch:
         ]
         lines.extend(f"  {line}" for line in self.graph_ntriples.splitlines() if line)
         lines.append(self.detail)
+        if self.trace is not None:
+            spans = sum(_count_spans(span) for span in self.trace.get("spans", ()))
+            lines.append(
+                f"trace: {spans} spans recorded (write with fuzz --trace-out)"
+            )
         return "\n".join(lines)
 
 
@@ -346,10 +355,20 @@ class DifferentialRunner:
             return None
         shrunk_graph, shrunk_query = self._shrink(graph, query, name, config)
         shrunk_expected = BruteForceOracle(shrunk_graph).evaluate(shrunk_query)
+        trace = None
         try:
             fresh = make_system(name, cluster_config=config)
             fresh.load(shrunk_graph)
-            shrunk_actual = fresh.sparql(shrunk_query).rows
+            # Record a span trace of the diverging run when the system can:
+            # the per-operator row counts localize where results went wrong.
+            if "tracer" in inspect.signature(fresh.sparql).parameters:
+                from ..obs.tracer import Tracer
+
+                tracer = Tracer()
+                shrunk_actual = fresh.sparql(shrunk_query, tracer=tracer).rows
+                trace = tracer.to_dict()
+            else:
+                shrunk_actual = fresh.sparql(shrunk_query).rows
         except Exception as error:  # noqa: BLE001
             shrunk_actual = []
             detail_suffix = f" (shrunken run raised {type(error).__name__}: {error})"
@@ -375,6 +394,7 @@ class DifferentialRunner:
             expected=shrunk_expected,
             actual=shrunk_actual,
             chaos_seed=self.chaos_seed,
+            trace=trace,
         )
 
     # -- shrinking -------------------------------------------------------------
@@ -510,6 +530,11 @@ def _modifier_reductions(query: SelectQuery):
         yield replace(query, limit=None, offset=None)
     if query.offset is not None:
         yield replace(query, offset=None)
+
+
+def _count_spans(span_dict: dict) -> int:
+    """Number of spans in one serialized span subtree."""
+    return 1 + sum(_count_spans(child) for child in span_dict.get("children", ()))
 
 
 # -- top-level fuzzing loop ----------------------------------------------------

@@ -1,0 +1,29 @@
+"""Shared fixtures for the observability tests: one small WatDiv graph.
+
+Session-scoped because loading is the slow part; every test treats the
+loaded engines as read-only.
+"""
+
+import pytest
+
+from repro.core.prost import ProstEngine
+from repro.watdiv.generator import generate_watdiv
+
+
+@pytest.fixture(scope="session")
+def watdiv_dataset():
+    return generate_watdiv(scale=120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def prost_watdiv(watdiv_dataset):
+    engine = ProstEngine(num_workers=9, strategy="mixed")
+    engine.load(watdiv_dataset.graph)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def prost_watdiv_vp(watdiv_dataset):
+    engine = ProstEngine(num_workers=9, strategy="vp")
+    engine.load(watdiv_dataset.graph)
+    return engine

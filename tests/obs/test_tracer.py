@@ -1,0 +1,117 @@
+"""Unit tests for the zero-dependency span tracer."""
+
+import json
+
+from repro.obs import Span, Tracer
+
+
+class TestSpanNesting:
+    def test_spans_nest_under_the_active_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("leaf", hit=1)
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [s.name for s in outer.children] == ["inner"]
+        assert [s.name for s in outer.children[0].children] == ["leaf"]
+
+    def test_siblings_stay_ordered(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.roots[0].children] == ["a", "b"]
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_stack_unwinds_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.current is None
+        assert tracer.roots[0].ended_sec > 0.0
+
+    def test_name_may_also_be_an_attribute(self):
+        # ``span(name, /, **attrs)``: the positional-only parameter leaves
+        # "name" free as an attribute key (bench spans rely on this).
+        tracer = Tracer()
+        with tracer.span("bench_query", name="C1") as span:
+            pass
+        assert span.attrs["name"] == "C1"
+
+
+class TestSpanData:
+    def test_duration_is_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            pass
+        assert span.duration_sec >= 0.0
+
+    def test_set_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", engine="PRoST") as span:
+            span.set("rows", 7)
+        assert span.attrs == {"engine": "PRoST", "rows": 7}
+
+    def test_record_counters_keeps_only_nonzero_deltas(self):
+        span = Span(name="s")
+        span.record_counters(
+            {"engine.bytes_scanned": 10, "engine.stages": 2, "faults.retries": 0},
+            {"engine.bytes_scanned": 25, "engine.stages": 2, "faults.retries": 0},
+        )
+        assert span.counters == {"engine.bytes_scanned": 15}
+
+    def test_walk_is_preorder_and_find_matches_by_name(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("left"):
+                tracer.event("deep")
+            tracer.event("right")
+        root = tracer.roots[0]
+        assert [s.name for s in root.walk()] == ["root", "left", "deep", "right"]
+        assert root.find("deep") is root.children[0].children[0]
+        assert root.find("missing") is None
+
+
+class TestSerialization:
+    def test_to_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("query", engine="PRoST") as span:
+            span.set("rows", 3)
+            tracer.event("scan", table="vp_likes")
+        payload = json.loads(tracer.to_json())
+        (root,) = payload["spans"]
+        assert root["name"] == "query"
+        assert root["attrs"] == {"engine": "PRoST", "rows": 3}
+        assert root["children"][0]["attrs"] == {"table": "vp_likes"}
+        assert root["duration_ms"] >= 0
+
+    def test_non_jsonable_attrs_are_coerced(self):
+        tracer = Tracer()
+        with tracer.span("s", where={1, 2}) as span:
+            pass
+        json.dumps(span.to_dict())  # must not raise
+
+    def test_write_json_ends_with_newline(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_json(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["spans"][0]["name"] == "s"

@@ -167,6 +167,110 @@ class TestFuzz:
         assert "chaos:" not in capsys.readouterr().out
 
 
+class TestExplain:
+    QUERY = "SELECT ?s ?f WHERE { ?s wsdbm:likes ?o . ?s wsdbm:follows ?f }"
+
+    def test_explain_renders_join_tree_and_engine_plan(self, watdiv_file, capsys):
+        code = main(
+            ["explain", "--data", str(watdiv_file), "--query", self.QUERY]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Join Tree" in out and "Engine Plan" in out
+        assert "est=" in out
+        assert "act=" not in out  # estimates only without --analyze
+
+    def test_analyze_annotates_actuals(self, watdiv_file, capsys):
+        code = main(
+            ["explain", "--data", str(watdiv_file), "--analyze",
+             "--query", self.QUERY]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "act=" in out
+        assert "rows=" in out.split("Engine Plan")[1]
+
+    def test_analyze_trace_out_writes_json(self, watdiv_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["explain", "--data", str(watdiv_file), "--analyze",
+             "--trace-out", str(trace_path), "--query", self.QUERY]
+        )
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["spans"][0]["name"] == "query"
+
+    def test_trace_out_requires_analyze(self, watdiv_file, tmp_path, capsys):
+        code = main(
+            ["explain", "--data", str(watdiv_file),
+             "--trace-out", str(tmp_path / "t.json"), "--query", self.QUERY]
+        )
+        assert code == 2
+        assert "requires --analyze" in capsys.readouterr().err
+
+    def test_baseline_systems_have_plan_shapes(self, watdiv_file, capsys):
+        expectations = {
+            "s2rdf": "Table Choices",
+            "sparqlgx": "Engine Plan",
+            "rya": "Index Plan",
+        }
+        for system, marker in expectations.items():
+            assert main(
+                ["explain", "--data", str(watdiv_file), "--system", system,
+                 "--query", self.QUERY]
+            ) == 0
+            assert marker in capsys.readouterr().out
+
+    def test_missing_query_is_an_error(self, watdiv_file, capsys):
+        assert main(["explain", "--data", str(watdiv_file)]) == 2
+        assert "provide --query" in capsys.readouterr().err
+
+
+class TestMetrics:
+    def test_plain_listing_groups_by_layer(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        for layer in ("[engine]", "[faults]", "[hdfs]", "[cost]"):
+            assert layer in out
+        assert "engine.bytes_scanned" in out
+
+    def test_markdown_matches_registry(self, capsys):
+        from repro.obs import REGISTRY
+
+        assert main(["metrics", "--markdown"]) == 0
+        assert capsys.readouterr().out == REGISTRY.markdown()
+
+
+class TestQueryTraceOut:
+    def test_query_trace_out_writes_span_tree(self, watdiv_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["query", "--data", str(watdiv_file),
+             "--trace-out", str(trace_path),
+             "--query", "SELECT ?s WHERE { ?s wsdbm:likes ?o } LIMIT 2"]
+        )
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        names = [s["name"] for s in payload["spans"]]
+        assert "query" in names
+
+
+class TestFuzzTraceOut:
+    def test_clean_run_writes_no_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "divergences.json"
+        code = main(
+            ["fuzz", "--seed", "0", "--iterations", "1",
+             "--system", "prost-mixed", "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        assert not trace_path.exists()
+        assert "no divergences" in capsys.readouterr().err
+
+
 class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
