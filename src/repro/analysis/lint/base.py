@@ -1,0 +1,116 @@
+"""Shared plumbing for the lint passes: parsed sources and violations."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One broken contract at one source location.
+
+    Attributes:
+        rule: the pass that found it (``layering``, ``determinism``, …).
+        path: source file, relative to the scanned root when possible.
+        line: 1-indexed line of the offending node.
+        message: what is wrong and what the contract demands instead.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        """One display line: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed module of the scanned package."""
+
+    path: Path
+    #: Dotted module name, e.g. ``repro.engine.executor``.
+    module: str
+    tree: ast.Module
+    #: Path below the package root, e.g. ``engine/executor.py``.
+    relative_name: str
+
+    @property
+    def subpackage(self) -> str:
+        """First package level below ``repro`` (``engine``, ``obs``, …);
+        empty for top-level modules like ``repro.errors``."""
+        parts = self.module.split(".")
+        if len(parts) > 2:
+            return parts[1]
+        if len(parts) == 2 and self.path.name == "__init__.py":
+            return parts[1]  # the subpackage's own __init__
+        return ""
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (the default scan root)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under ``root``, in a stable order."""
+    yield from sorted(root.rglob("*.py"))
+
+
+def load_source_files(root: Path | None = None) -> list[SourceFile]:
+    """Parse every module of the package rooted at ``root``.
+
+    ``root`` must be the directory of a package named like its last path
+    component (defaults to the installed ``repro`` package).
+    """
+    if root is None:
+        root = package_root()
+    root = root.resolve()
+    package = root.name
+    files: list[SourceFile] = []
+    for path in iter_python_files(root):
+        relative = path.relative_to(root)
+        parts = (package, *relative.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        files.append(
+            SourceFile(
+                path=path,
+                module=".".join(parts),
+                tree=tree,
+                relative_name=relative.as_posix(),
+            )
+        )
+    return files
+
+
+def resolve_import(source: SourceFile, node: ast.ImportFrom) -> str:
+    """The absolute dotted module a ``from … import …`` refers to."""
+    if node.level == 0:
+        return node.module or ""
+    base = source.module.split(".")
+    if not source.path.name == "__init__.py":
+        base = base[:-1]
+    if node.level > 1:
+        base = base[: len(base) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def imported_modules(source: SourceFile, node: ast.stmt) -> list[str]:
+    """Absolute dotted modules referenced by one import statement."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        return [resolve_import(source, node)]
+    return []

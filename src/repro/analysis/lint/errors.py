@@ -1,0 +1,88 @@
+"""Error-hierarchy lint.
+
+Everything ``src/repro`` raises must come from the :mod:`repro.errors`
+hierarchy, so callers can catch ``ReproError`` (or a layer's subclass) and
+know they have covered the package. Accepted forms:
+
+- ``raise SomeReproError(...)`` for any class defined in ``errors.py``;
+- a small allowlist of builtins with control-flow meaning
+  (``NotImplementedError``, ``AssertionError``, ``StopIteration``,
+  ``SystemExit``, ``KeyboardInterrupt``);
+- bare ``raise`` and re-raising a caught variable (lowercase name);
+- factory calls (``raise self.error(...)``, ``raise make_error(...)``) —
+  the factory's return type is checked by the type checker, not this lint.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ...errors import ValidationError
+from .base import LintViolation, SourceFile
+
+RULE = "errors"
+
+#: Builtins with control-flow (not error-reporting) meaning.
+ALLOWED_BUILTINS = frozenset(
+    {
+        "NotImplementedError",
+        "AssertionError",
+        "StopIteration",
+        "SystemExit",
+        "KeyboardInterrupt",
+    }
+)
+
+
+def hierarchy_class_names(sources: list[SourceFile]) -> frozenset[str]:
+    """Exception class names defined by the package's ``errors`` module."""
+    for source in sources:
+        if source.module.endswith(".errors") and source.subpackage == "":
+            return frozenset(
+                node.name
+                for node in source.tree.body
+                if isinstance(node, ast.ClassDef)
+            )
+    raise ValidationError("no top-level errors module in the scanned package")
+
+
+def check_errors(sources: list[SourceFile]) -> list[LintViolation]:
+    """All raises outside the error hierarchy across the parsed package."""
+    allowed = hierarchy_class_names(sources) | ALLOWED_BUILTINS
+    violations: list[LintViolation] = []
+    for source in sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Raise):
+                violation = _check_raise(source, node, allowed)
+                if violation is not None:
+                    violations.append(violation)
+    return violations
+
+
+def _check_raise(
+    source: SourceFile, node: ast.Raise, allowed: frozenset[str]
+) -> LintViolation | None:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    name = _raised_name(exc)
+    if name is None:
+        return None  # attribute access / factory call / expression: allowed
+    if name in allowed or name[:1].islower():
+        return None  # hierarchy class, allowlisted builtin, or caught variable
+    return LintViolation(
+        RULE,
+        source.relative_name,
+        node.lineno,
+        f"raise {name}(...) bypasses the repro.errors hierarchy; raise a "
+        "ReproError subclass instead",
+    )
+
+
+def _raised_name(exc: ast.expr) -> str | None:
+    """The bare name being raised, when statically visible."""
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None

@@ -1,0 +1,89 @@
+"""Import-layering lint.
+
+Two contracts from ``docs/ARCHITECTURE.md``:
+
+1. The generic data plane — ``repro.engine``, ``repro.columnar``,
+   ``repro.hdfs`` — knows nothing about SPARQL or competing systems: it
+   never imports ``repro.baselines`` or ``repro.sparql``, at any scope.
+   (``repro.core`` sits above and may use all of them.)
+2. Observability is an optional layer: no module outside ``repro.obs``
+   imports it unconditionally at module level. Lazy imports inside
+   functions — the pattern the engine's tracing hooks and ``core.prost``
+   use — keep the data path importable and fast when tracing is off;
+   ``if TYPE_CHECKING:`` imports never execute and are likewise fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import LintViolation, SourceFile, imported_modules
+
+RULE = "layering"
+
+#: Subpackages forming the SPARQL-agnostic data plane.
+GENERIC_LAYERS = ("engine", "columnar", "hdfs")
+
+#: Subpackages the generic layers must never import, at any scope.
+FORBIDDEN_FOR_GENERIC = ("baselines", "sparql")
+
+#: The optional observability layer.
+OPTIONAL_LAYER = "obs"
+
+
+def check_layering(sources: list[SourceFile]) -> list[LintViolation]:
+    """All layering violations across the parsed package."""
+    violations: list[LintViolation] = []
+    for source in sources:
+        if source.subpackage in GENERIC_LAYERS:
+            violations.extend(_check_generic_layer(source))
+        if source.subpackage != OPTIONAL_LAYER:
+            violations.extend(_check_optional_obs(source))
+    return violations
+
+
+def _check_generic_layer(source: SourceFile) -> list[LintViolation]:
+    found: list[LintViolation] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for module in imported_modules(source, node):
+            layer = _repro_layer(module)
+            if layer in FORBIDDEN_FOR_GENERIC:
+                found.append(
+                    LintViolation(
+                        RULE,
+                        source.relative_name,
+                        node.lineno,
+                        f"the generic layer {source.subpackage!r} must not "
+                        f"import repro.{layer} ({module})",
+                    )
+                )
+    return found
+
+
+def _check_optional_obs(source: SourceFile) -> list[LintViolation]:
+    found: list[LintViolation] = []
+    for node in source.tree.body:  # unconditional module level only
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for module in imported_modules(source, node):
+            if _repro_layer(module) == OPTIONAL_LAYER:
+                found.append(
+                    LintViolation(
+                        RULE,
+                        source.relative_name,
+                        node.lineno,
+                        "repro.obs is optional: import it lazily inside the "
+                        f"function that needs it, not at module level ({module})",
+                    )
+                )
+    return found
+
+
+def _repro_layer(module: str) -> str:
+    """The ``repro`` subpackage a dotted module belongs to, or ``""``."""
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return ""

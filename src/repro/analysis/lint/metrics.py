@@ -1,0 +1,68 @@
+"""Metrics-contract lint.
+
+Counter names (``engine.shuffle_bytes``, ``faults.task_retries``, …) have
+exactly one home: :mod:`repro.obs.metrics`, which registers every counter
+in the :data:`~repro.obs.metrics.REGISTRY` and exports the names used as
+strings elsewhere as constants. This pass rejects:
+
+- any inline ``"layer.counter"`` string literal outside ``obs/metrics.py``
+  (use the exported constant, so a rename cannot silently diverge), and
+- any such literal — anywhere — that names a counter the registry does not
+  know (a misspelled or stale name).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .base import LintViolation, SourceFile
+
+RULE = "metrics"
+
+#: The module allowed to spell counter names inline.
+REGISTRY_MODULE = "obs/metrics.py"
+
+#: What a dotted counter name looks like.
+COUNTER_PATTERN = re.compile(r"^(engine|faults|hdfs|cost)\.[a-z_]+$")
+
+
+def registered_counter_names() -> frozenset[str]:
+    """Every name the process-wide registry knows."""
+    from ...obs.metrics import REGISTRY
+
+    return frozenset(spec.name for spec in REGISTRY)
+
+
+def check_metrics(sources: list[SourceFile]) -> list[LintViolation]:
+    """All metrics-contract violations across the parsed package."""
+    known = registered_counter_names()
+    violations: list[LintViolation] = []
+    for source in sources:
+        in_registry_module = source.relative_name == REGISTRY_MODULE
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+                continue
+            if not COUNTER_PATTERN.match(node.value):
+                continue
+            if node.value not in known:
+                violations.append(
+                    LintViolation(
+                        RULE,
+                        source.relative_name,
+                        node.lineno,
+                        f"counter name {node.value!r} is not in the metrics "
+                        "registry (repro.obs.metrics.REGISTRY)",
+                    )
+                )
+            elif not in_registry_module:
+                violations.append(
+                    LintViolation(
+                        RULE,
+                        source.relative_name,
+                        node.lineno,
+                        f"inline counter literal {node.value!r}; use the "
+                        "constant exported by repro.obs.metrics",
+                    )
+                )
+    return violations

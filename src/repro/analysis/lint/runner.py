@@ -1,0 +1,33 @@
+"""Run every lint pass over the package and collect violations."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .base import LintViolation, load_source_files
+from .determinism import check_determinism
+from .errors import check_errors
+from .layering import check_layering
+from .metrics import check_metrics
+
+#: Every pass, in report order.
+ALL_PASSES = (check_layering, check_determinism, check_metrics, check_errors)
+
+
+def run_lints(root: Path | None = None) -> list[LintViolation]:
+    """All violations in the package rooted at ``root`` (default: installed
+    ``repro``), sorted by file and line."""
+    sources = load_source_files(root)
+    violations: list[LintViolation] = []
+    for lint_pass in ALL_PASSES:
+        violations.extend(lint_pass(sources))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def render_report(violations: list[LintViolation]) -> str:
+    """Human-readable report, one line per violation plus a summary."""
+    if not violations:
+        return "lint: clean"
+    lines = [violation.format() for violation in violations]
+    lines.append(f"lint: {len(violations)} violation(s)")
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from ..core.encoding import (
 from ..core.loader import LoadReport
 from ..core.prost import _apply_modifiers
 from ..core.results import QueryExecutionReport, ResultSet
+from ..errors import LoaderError
 from ..kvstore.store import SortedKeyValueStore
 from ..rdf.graph import Graph
 from ..rdf.reference import evaluate_filter
@@ -133,7 +134,7 @@ class Rya:
         """Execute a SELECT query with index nested-loop joins."""
         parsed = parse_sparql(query) if isinstance(query, str) else query
         if self.statistics is None:
-            raise RuntimeError("no graph loaded; call load() first")
+            raise LoaderError("no graph loaded; call load() first")
         started = time.perf_counter()
         self.store.metrics.reset()
 
@@ -181,7 +182,7 @@ class Rya:
         """
         parsed = parse_sparql(query) if isinstance(query, str) else query
         if self.statistics is None:
-            raise RuntimeError("no graph loaded; call load() first")
+            raise LoaderError("no graph loaded; call load() first")
         if parsed.is_union:
             groups = [
                 ("UNION branch", list(branch)) for branch in parsed.union_branches

@@ -34,7 +34,7 @@ from ..core.results import QueryExecutionReport, ResultSet
 from ..engine.cluster import ClusterConfig, SimulatedCluster
 from ..engine.dataframe import DataFrame
 from ..engine.session import EngineSession
-from ..errors import UnsupportedSparqlError
+from ..errors import UnsupportedSparqlError, ValidationError
 from ..rdf.graph import Graph
 from ..rdf.stats import GraphStatistics, collect_statistics
 from ..sparql.algebra import SelectQuery, TriplePattern, Variable
@@ -80,7 +80,7 @@ class S2Rdf:
                 below this bound (S2RDF's ``TH_sf``; 1.0 persists everything).
         """
         if not 0.0 <= selectivity_threshold <= 1.0:
-            raise ValueError("selectivity_threshold must be within [0, 1]")
+            raise ValidationError("selectivity_threshold must be within [0, 1]")
         if cluster_config is None:
             cluster_config = ClusterConfig(num_workers=num_workers)
         self.session = EngineSession(SimulatedCluster(cluster_config))

@@ -5,6 +5,9 @@ Installed as ``prost-repro``::
     prost-repro generate --scale 300 --out watdiv.nt
     prost-repro query --data watdiv.nt --query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
     prost-repro explain --data watdiv.nt --query-file q.rq --analyze
+    prost-repro check --data watdiv.nt --query-file q.rq
+    prost-repro check --watdiv-sweep --scale 120
+    prost-repro lint
     prost-repro metrics --markdown
     prost-repro benchmark --scale 300 --experiment table2
     prost-repro queries --scale 300 --name C3
@@ -127,6 +130,97 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         tracer.write_json(args.trace_out)
         print(f"# wrote trace to {args.trace_out}", file=sys.stderr)
     return 0
+
+
+#: Engines the ``check`` subcommand can verify (Rya plans over a key-value
+#: store, not logical plans, so there is nothing for the verifier to check).
+CHECK_SYSTEMS = ("prost", "s2rdf", "sparqlgx", "sparqlgx-sde")
+
+
+def _check_engine(args: argparse.Namespace):
+    if args.system == "prost":
+        return ProstEngine(num_workers=args.workers, strategy=args.strategy)
+    from .baselines import S2Rdf, SparqlGx, SparqlGxDirect
+
+    cls = {
+        "s2rdf": S2Rdf,
+        "sparqlgx": SparqlGx,
+        "sparqlgx-sde": SparqlGxDirect,
+    }[args.system]
+    return cls(num_workers=args.workers)
+
+
+def _check_one(engine, query: str) -> list:
+    """Diagnostics for one query on one loaded engine."""
+    from .analysis import verify_logical_plan
+    from .sparql.parser import parse_sparql
+
+    if isinstance(engine, ProstEngine):
+        return engine.verify(query)
+    frame = engine.dataframe(parse_sparql(query))
+    if frame is None:  # provably empty (S2RDF's ExtVP pruning)
+        return []
+    return verify_logical_plan(
+        frame.plan, catalog=engine.session.catalog, config=engine.session.config
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import render_diagnostics
+
+    if args.watdiv_sweep:
+        dataset = generate_watdiv(scale=args.scale, seed=args.seed)
+        graph = dataset.graph
+        queries = [(q.name, q.text) for q in basic_query_set(dataset)]
+    else:
+        query = _read_query(args)
+        if query is None:
+            print(
+                "error: provide --query, --query-file, or --watdiv-sweep",
+                file=sys.stderr,
+            )
+            return 2
+        if args.data is None:
+            print("error: provide --data (or --watdiv-sweep)", file=sys.stderr)
+            return 2
+        graph = Graph.from_file(args.data)
+        queries = [("query", query)]
+
+    engine = _check_engine(args)
+    engine.load(graph)
+    failed = 0
+    for name, text in queries:
+        diagnostics = _check_one(engine, text)
+        if diagnostics:
+            failed += 1
+            tree = None
+            if isinstance(engine, ProstEngine):
+                from .sparql.parser import parse_sparql
+
+                tree = engine._explain_tree_text(parse_sparql(text))
+            print(f"== {name}: REJECTED ==")
+            print(render_diagnostics(diagnostics, tree))
+        elif args.verbose or args.watdiv_sweep:
+            print(f"== {name}: ok ==")
+    if failed:
+        print(f"# {failed}/{len(queries)} quer{'y' if failed == 1 else 'ies'} rejected",
+              file=sys.stderr)
+        return 1
+    print(f"# {len(queries)} quer{'y' if len(queries) == 1 else 'ies'} verified clean",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.lint import run_lints
+    from .analysis.lint.runner import render_report
+
+    root = Path(args.root) if args.root else None
+    violations = run_lints(root)
+    print(render_report(violations))
+    return 1 if violations else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -318,6 +412,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the span trace as JSON (requires --analyze, prost)",
     )
     explain.set_defaults(handler=_cmd_explain)
+
+    check = commands.add_parser(
+        "check",
+        help="statically verify a query's plans without executing them",
+        description="Run the static plan verifier: translate a query, infer "
+        "every plan node's schema and partitioning, and report violated "
+        "invariants (unbound variables, mis-grouped property-table nodes, "
+        "priorities inconsistent with the statistics, colocated joins "
+        "without co-partitioning, oversized broadcasts) as EXPLAIN-style "
+        "diagnostics pointing at the offending tree node. Exits non-zero "
+        "when any plan is rejected. The same checks run before every query "
+        "unless REPRO_PLAN_CHECK=0.",
+    )
+    check.add_argument("--data", help="N-Triples input file")
+    check.add_argument("--query", help="SPARQL text")
+    check.add_argument("--query-file", help="file containing the SPARQL text")
+    check.add_argument(
+        "--watdiv-sweep",
+        action="store_true",
+        help="verify the whole WatDiv basic query set on generated data",
+    )
+    check.add_argument("--scale", type=int, default=300, help="sweep dataset scale")
+    check.add_argument("--seed", type=int, default=7, help="sweep dataset seed")
+    check.add_argument("--strategy", choices=("mixed", "vp"), default="mixed")
+    check.add_argument("--workers", type=int, default=9)
+    check.add_argument(
+        "--system",
+        choices=CHECK_SYSTEMS,
+        default="prost",
+        help="which planner's output to verify (default: prost)",
+    )
+    check.add_argument("--verbose", action="store_true", help="also print clean queries")
+    check.set_defaults(handler=_cmd_check)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the architectural lints over the repro source tree",
+        description="AST-based checks of the codebase's own contracts: "
+        "import layering (the generic engine/columnar/hdfs layers never "
+        "import baselines or sparql; obs stays optional), data-plane "
+        "determinism (no wall-clock time or ambient randomness outside the "
+        "seeded fault injector), the metrics contract (counter names only "
+        "via repro.obs.metrics constants), and the error hierarchy (every "
+        "raise uses repro.errors). Exits non-zero on any violation.",
+    )
+    lint.add_argument(
+        "--root", help="package directory to scan (default: the installed repro)"
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     metrics = commands.add_parser(
         "metrics",

@@ -24,7 +24,7 @@ import zlib
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from ..errors import EncodingError, SchemaError
+from ..errors import EncodingError, SchemaError, ValidationError
 from ..hdfs.filesystem import SimulatedHdfs
 from .binio import ByteReader, ByteWriter
 from .encoding import ENCODINGS, decode, encode_best
@@ -89,7 +89,7 @@ def write_table(
         SchemaError: when a row has the wrong arity or a bad cell value.
     """
     if row_group_size <= 0:
-        raise ValueError("row_group_size must be positive")
+        raise ValidationError("row_group_size must be positive")
     writer = ByteWriter()
     writer.write_bytes(_MAGIC)
     _write_schema(writer, schema)

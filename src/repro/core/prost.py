@@ -113,15 +113,19 @@ class ProstEngine:
         parsed = parse_sparql(query) if isinstance(query, str) else query
         assert self._translator is not None
 
+        trees: list[JoinTree] = []
+        optional_trees: list[JoinTree] = []
         if parsed.is_union:
-            frame, description = self._union_frame(store, parsed)
+            frame, description = self._union_frame(store, parsed, trees)
         else:
             tree = self._translator.translate_bgp(parsed.patterns)
+            trees.append(tree)
             frame = JoinTreeExecutor(store).build(tree)
             description = tree.describe()
             for group in parsed.optional_groups:
-                frame, optional_text = self._apply_optional(store, frame, group)
-                description += f"\nOPTIONAL:\n{optional_text}"
+                frame, optional_tree = self._apply_optional(store, frame, group)
+                optional_trees.append(optional_tree)
+                description += f"\nOPTIONAL:\n{optional_tree.describe()}"
 
         for filter_expression in parsed.filters:
             frame = frame.filter(SparqlCondition(filter_expression))
@@ -140,9 +144,26 @@ class ProstEngine:
         frame = frame.select(*projection)
         if parsed.distinct:
             frame = frame.distinct()
+
+        # Pre-execution static verification (REPRO_PLAN_CHECK=0 opts out).
+        # Imported lazily: analysis depends on this module's neighbors.
+        from ..analysis import check_query, plan_check_enabled
+
+        if plan_check_enabled():
+            check_query(
+                parsed,
+                trees,
+                optional_trees,
+                frame.plan,
+                translator=self._translator,
+                catalog=self.session.catalog,
+                config=self.session.config,
+            )
         return frame, description
 
-    def _union_frame(self, store, parsed: SelectQuery) -> tuple[DataFrame, str]:
+    def _union_frame(
+        self, store, parsed: SelectQuery, trees: list[JoinTree]
+    ) -> tuple[DataFrame, str]:
         """One frame per UNION branch, null-padded to shared columns."""
         from ..engine.expressions import col, lit
 
@@ -153,6 +174,7 @@ class ProstEngine:
         all_columns: list[str] = []
         for branch in parsed.union_branches:
             tree = self._translator.translate_bgp(branch)
+            trees.append(tree)
             frame = executor.build(tree)
             branch_frames.append(frame)
             descriptions.append(tree.describe())
@@ -172,7 +194,9 @@ class ProstEngine:
         description = "\nUNION:\n".join(descriptions)
         return union, description
 
-    def _apply_optional(self, store, frame: DataFrame, group) -> tuple[DataFrame, str]:
+    def _apply_optional(
+        self, store, frame: DataFrame, group
+    ) -> tuple[DataFrame, JoinTree]:
         """Left-join one OPTIONAL group onto the accumulated frame."""
         assert self._translator is not None
         tree = self._translator.translate_bgp(group)
@@ -183,7 +207,7 @@ class ProstEngine:
                 "OPTIONAL groups sharing no variable with the required "
                 "pattern are not supported"
             )
-        return frame.join(optional_frame, on=shared, how="left"), tree.describe()
+        return frame.join(optional_frame, on=shared, how="left"), tree
 
     def sparql(self, query: str | SelectQuery, tracer=None) -> ResultSet:
         """Execute a SELECT query and return decoded solutions.
@@ -239,6 +263,53 @@ class ProstEngine:
         self.last_query_report_ = report
         variables = tuple(variable.name for variable in parsed.projection)
         return ResultSet(variables, rows, report)
+
+    def verify(self, query: str | SelectQuery) -> list:
+        """Statically verify a query's plans without executing them.
+
+        Returns every violated invariant as a
+        :class:`~repro.analysis.diagnostics.Diagnostic` (empty list = the
+        plan is good). This is the engine behind ``prost-repro check``; the
+        same checks run implicitly before every query unless
+        ``REPRO_PLAN_CHECK=0``.
+        """
+        from ..analysis import (
+            set_plan_check_enabled,
+            verify_logical_plan,
+            verify_query,
+        )
+
+        self._require_store()
+        assert self._translator is not None
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        previous = set_plan_check_enabled(False)  # collect, don't raise
+        try:
+            frame, _ = self.dataframe(parsed)
+        finally:
+            set_plan_check_enabled(previous)
+        if parsed.is_union:
+            trees = [
+                self._translator.translate_bgp(branch)
+                for branch in parsed.union_branches
+            ]
+            optional_trees = []
+        else:
+            trees = [self._translator.translate_bgp(parsed.patterns)]
+            optional_trees = [
+                self._translator.translate_bgp(group)
+                for group in parsed.optional_groups
+            ]
+        diagnostics = verify_query(
+            parsed, trees, optional_trees, translator=self._translator
+        )
+        diagnostics.extend(
+            verify_logical_plan(
+                frame.plan,
+                catalog=self.session.catalog,
+                config=self.session.config,
+            )
+        )
+        return diagnostics
 
     def ask(self, query: str | SelectQuery) -> bool:
         """Execute an ASK (or any) query as an existence check."""

@@ -82,10 +82,22 @@ class JoinTreeTranslator:
     def translate_bgp(self, patterns) -> JoinTree:
         """Translate one conjunction of triple patterns into a Join Tree."""
         nodes = self._build_nodes(list(patterns))
-        if self.use_statistics:
-            for node in nodes:
+        for node in nodes:
+            # Declared properties the static plan verifier checks against
+            # the derivable ground truth (repro.analysis.verifier).
+            node.declared_partitioning = node.natural_partitioning()
+            if self.use_statistics:
                 node.priority = self._score(node)
         return self._assemble(nodes)
+
+    def score(self, node: JoinTreeNode) -> float:
+        """The statistics-based priority this translator assigns ``node``.
+
+        Public so the plan verifier can recompute priorities independently
+        and reject trees whose declared priorities disagree with the
+        statistics (a tampered or stale plan).
+        """
+        return self._score(node)
 
     # -- node grouping ----------------------------------------------------------------
 

@@ -20,6 +20,7 @@ The defaults are calibrated to the paper's cluster:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -65,9 +66,9 @@ class ClusterConfig:
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
-            raise ValueError("num_workers must be positive")
+            raise ValidationError("num_workers must be positive")
         if self.partitions_per_worker <= 0:
-            raise ValueError("partitions_per_worker must be positive")
+            raise ValidationError("partitions_per_worker must be positive")
         for name in (
             "network_bytes_per_sec",
             "scan_bytes_per_sec",
@@ -76,13 +77,13 @@ class ClusterConfig:
             "broadcast_threshold_bytes",
         ):
             if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+                raise ValidationError(f"{name} must be positive")
         if self.task_overhead_sec < 0:
-            raise ValueError("task_overhead_sec must be non-negative")
+            raise ValidationError("task_overhead_sec must be non-negative")
         if self.max_task_attempts < 1:
-            raise ValueError("max_task_attempts must be at least 1")
+            raise ValidationError("max_task_attempts must be at least 1")
         if self.speculation_multiplier <= 1.0:
-            raise ValueError("speculation_multiplier must exceed 1.0")
+            raise ValidationError("speculation_multiplier must exceed 1.0")
 
     @property
     def default_partitions(self) -> int:

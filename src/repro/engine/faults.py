@@ -34,7 +34,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..errors import FaultToleranceExhaustedError, TaskFailedError
+from ..errors import FaultToleranceExhaustedError, TaskFailedError, ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cluster import ClusterConfig, ExecutionMetrics
@@ -131,12 +131,12 @@ class FaultPlan:
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be within [0, 1]")
+                raise ValidationError(f"{name} must be within [0, 1]")
         if self.max_failures < 1:
-            raise ValueError("max_failures must be at least 1")
+            raise ValidationError("max_failures must be at least 1")
         lo, hi = self.slowdown_range
         if not 1.0 <= lo <= hi:
-            raise ValueError("slowdown_range must satisfy 1.0 <= lo <= hi")
+            raise ValidationError("slowdown_range must satisfy 1.0 <= lo <= hi")
 
     # -- constructors ----------------------------------------------------------
 

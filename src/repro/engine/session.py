@@ -148,7 +148,15 @@ class EngineSession:
         from .logical import TableScan
 
         stored = self.catalog.get(name)
-        return DataFrame(self, TableScan(name, stored.schema))
+        partitioner = stored.data.partitioner
+        return DataFrame(
+            self,
+            TableScan(
+                name,
+                stored.schema,
+                partition_columns=partitioner.columns if partitioner else None,
+            ),
+        )
 
     def create_dataframe(self, schema: TableSchema, rows: list[tuple], label: str = "local") -> "DataFrame":
         """A DataFrame over caller-provided rows (not registered)."""

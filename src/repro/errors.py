@@ -30,6 +30,16 @@ class SparqlSyntaxError(ReproError):
     """Raised when a SPARQL query string cannot be parsed."""
 
 
+class ValidationError(ReproError, ValueError):
+    """Raised for invalid argument or configuration values.
+
+    Also derives :class:`ValueError`, so call sites (and tests) written
+    against the stdlib type before the hierarchy was unified keep working;
+    the ``repro.analysis`` error-hierarchy lint requires every raise in the
+    package to use a :class:`ReproError` subclass.
+    """
+
+
 class UnsupportedSparqlError(ReproError):
     """Raised for syntactically valid SPARQL outside the supported fragment."""
 
@@ -113,6 +123,31 @@ class BlockUnavailableError(ExecutionError, StorageError):
 
 class CatalogError(ReproError):
     """Raised for catalog misuse: missing or duplicate table registrations."""
+
+
+class TableNotFoundError(StorageError, KeyError):
+    """Raised when a KV-store table lookup names an unregistered table.
+
+    Also derives :class:`KeyError` (the lookup is dictionary-shaped), so
+    pre-hierarchy callers catching ``KeyError`` still see it.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the plain message.
+        return str(self.args[0]) if self.args else ""
+
+
+class PlanVerificationError(PlanError):
+    """A plan failed static verification (``repro.analysis``).
+
+    Attributes:
+        diagnostics: the :class:`~repro.analysis.diagnostics.Diagnostic`
+            objects describing each violated invariant.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class LoaderError(ReproError):

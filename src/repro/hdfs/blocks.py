@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ValidationError
+
 #: HDFS default block size (128 MiB). The simulated cluster typically uses a
 #: much smaller block size so laptop-scale datasets still span several blocks.
 DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
@@ -48,10 +50,10 @@ def plan_placement(
         ValueError: when the cluster cannot satisfy the replication factor.
     """
     if num_datanodes <= 0:
-        raise ValueError("cluster needs at least one datanode")
+        raise ValidationError("cluster needs at least one datanode")
     effective_replication = min(replication, num_datanodes)
     if effective_replication <= 0:
-        raise ValueError("replication factor must be positive")
+        raise ValidationError("replication factor must be positive")
     primary = preferred_node if preferred_node is not None else block_id % num_datanodes
     primary %= num_datanodes
     return tuple((primary + offset) % num_datanodes for offset in range(effective_replication))
@@ -63,9 +65,9 @@ def split_into_blocks(payload_size: int, block_size: int) -> list[int]:
     A zero-byte file still occupies one (empty) block so it has a location.
     """
     if block_size <= 0:
-        raise ValueError("block size must be positive")
+        raise ValidationError("block size must be positive")
     if payload_size < 0:
-        raise ValueError("payload size must be non-negative")
+        raise ValidationError("payload size must be non-negative")
     if payload_size == 0:
         return [0]
     sizes = [block_size] * (payload_size // block_size)

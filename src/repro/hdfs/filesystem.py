@@ -15,6 +15,7 @@ from ..errors import (
     FileAlreadyExistsError,
     FileNotFoundInHdfsError,
     StorageError,
+    ValidationError,
 )
 from .blocks import DEFAULT_BLOCK_SIZE, Block, plan_placement, split_into_blocks
 
@@ -34,7 +35,7 @@ class HdfsFile:
 
 def _normalize(path: str) -> str:
     if not path or path.endswith("/"):
-        raise ValueError(f"invalid HDFS file path: {path!r}")
+        raise ValidationError(f"invalid HDFS file path: {path!r}")
     return "/" + path.strip("/")
 
 
@@ -54,9 +55,9 @@ class SimulatedHdfs:
         replication: int = 3,
     ):
         if num_datanodes <= 0:
-            raise ValueError("num_datanodes must be positive")
+            raise ValidationError("num_datanodes must be positive")
         if replication <= 0:
-            raise ValueError("replication must be positive")
+            raise ValidationError("replication must be positive")
         self.num_datanodes = num_datanodes
         self.block_size = block_size
         self.replication = min(replication, num_datanodes)
@@ -236,7 +237,7 @@ class SimulatedHdfs:
                 this cannot happen).
         """
         if not 0 <= node < self.num_datanodes:
-            raise ValueError(f"unknown datanode {node}")
+            raise ValidationError(f"unknown datanode {node}")
         if not repair:
             self._failed.add(node)
             return 0

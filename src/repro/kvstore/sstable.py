@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections.abc import Iterable, Iterator
+from ..errors import ValidationError
 
 
 class SortedRun:
@@ -20,7 +21,7 @@ class SortedRun:
         self._values = [value for _, value in pairs]
         for i in range(1, len(self._keys)):
             if self._keys[i] == self._keys[i - 1]:
-                raise ValueError(f"duplicate key in sorted run: {self._keys[i]!r}")
+                raise ValidationError(f"duplicate key in sorted run: {self._keys[i]!r}")
 
     def __len__(self) -> int:
         return len(self._keys)

@@ -17,6 +17,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from .sstable import SortedRun, merge_runs, prefix_upper_bound
+from ..errors import TableNotFoundError, ValidationError
 
 #: Flush the memtable into a sorted run once it reaches this many entries.
 DEFAULT_MEMTABLE_LIMIT = 100_000
@@ -69,7 +70,7 @@ class SortedKeyValueStore:
         self, num_tablet_servers: int = 9, memtable_limit: int = DEFAULT_MEMTABLE_LIMIT
     ):
         if num_tablet_servers <= 0:
-            raise ValueError("num_tablet_servers must be positive")
+            raise ValidationError("num_tablet_servers must be positive")
         self.num_tablet_servers = num_tablet_servers
         self.memtable_limit = memtable_limit
         self._tables: dict[str, _TableData] = {}
@@ -80,7 +81,7 @@ class SortedKeyValueStore:
     def create_table(self, name: str) -> None:
         """Create an empty table; creating an existing table is an error."""
         if name in self._tables:
-            raise ValueError(f"table already exists: {name!r}")
+            raise ValidationError(f"table already exists: {name!r}")
         self._tables[name] = _TableData()
 
     def has_table(self, name: str) -> bool:
@@ -120,7 +121,7 @@ class SortedKeyValueStore:
     def _table(self, name: str) -> _TableData:
         data = self._tables.get(name)
         if data is None:
-            raise KeyError(f"no such table: {name!r}")
+            raise TableNotFoundError(f"no such table: {name!r}")
         return data
 
     # -- writes ------------------------------------------------------------------

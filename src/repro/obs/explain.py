@@ -25,6 +25,11 @@ from dataclasses import dataclass, field
 
 from ..core.join_tree import JoinTree, JoinTreeNode, PtNode, VpNode
 from ..sparql.algebra import Variable
+from .metrics import (
+    ENGINE_BROADCAST_BYTES,
+    ENGINE_BYTES_SCANNED,
+    ENGINE_SHUFFLE_BYTES,
+)
 from .tracer import Span
 
 #: Nominal in-memory bytes per result cell, used only to pre-play the
@@ -201,8 +206,8 @@ def _align_node(node: JoinTreeNode, span: Span, runtime: dict[int, NodeRuntime])
             strategy=current.attrs.get("strategy", current.attrs["op"]),
             on=list(current.attrs.get("on", ())),
             build=current.attrs.get("build"),
-            shuffle_bytes=own.get("engine.shuffle_bytes", 0),
-            broadcast_bytes=own.get("engine.broadcast_bytes", 0),
+            shuffle_bytes=own.get(ENGINE_SHUFFLE_BYTES, 0),
+            broadcast_bytes=own.get(ENGINE_BROADCAST_BYTES, 0),
             rows_out=current.attrs.get("rows_out"),
             recovery=_recovery_counters(own),
         )
@@ -246,7 +251,7 @@ def _render_span(span: Span, lines: list[str], indent: int) -> None:
     if "rows_out" in span.attrs:
         line += f"  rows={span.attrs['rows_out']}"
     deltas = []
-    for name in ("engine.shuffle_bytes", "engine.broadcast_bytes", "engine.bytes_scanned"):
+    for name in (ENGINE_SHUFFLE_BYTES, ENGINE_BROADCAST_BYTES, ENGINE_BYTES_SCANNED):
         value = span.counters.get(name, 0)
         own = value - sum(child.counters.get(name, 0) for child in span.children)
         if own:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from .graph import Graph
 from .terms import IRI
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -105,7 +106,7 @@ def collect_statistics(graph: Graph, level: str = "simple") -> GraphStatistics:
         ValueError: for an unknown ``level``.
     """
     if level not in ("simple", "extended"):
-        raise ValueError(f"unknown statistics level: {level!r}")
+        raise ValidationError(f"unknown statistics level: {level!r}")
 
     subjects_by_predicate: dict[str, set] = defaultdict(set)
     objects_by_predicate: dict[str, set] = defaultdict(set)

@@ -12,6 +12,7 @@ import json
 
 from ..hdfs.filesystem import SimulatedHdfs
 from .stats import GraphStatistics, PredicateStatistics
+from ..errors import ValidationError
 
 #: Current serialization format version.
 FORMAT_VERSION = 1
@@ -53,7 +54,7 @@ def statistics_from_json(text: str) -> GraphStatistics:
     payload = json.loads(text)
     version = payload.get("version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported statistics format version: {version!r}")
+        raise ValidationError(f"unsupported statistics format version: {version!r}")
     predicates = {
         iri: PredicateStatistics(
             triple_count=entry["triple_count"],

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Union
+from ..errors import ValidationError
 
 #: Datatype IRI of plain (simple) literals under RDF 1.1.
 XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
@@ -64,7 +65,7 @@ class Literal:
 
     def __post_init__(self) -> None:
         if self.language is not None and self.datatype is not None:
-            raise ValueError("a literal cannot have both a language tag and a datatype")
+            raise ValidationError("a literal cannot have both a language tag and a datatype")
 
     def __str__(self) -> str:
         return self.lexical
@@ -181,7 +182,7 @@ def unescape_literal(text: str) -> str:
             i += 1
             continue
         if i + 1 >= n:
-            raise ValueError("dangling backslash in literal")
+            raise ValidationError("dangling backslash in literal")
         nxt = text[i + 1]
         if nxt in _UNESCAPES:
             out.append(_UNESCAPES[nxt])
@@ -193,7 +194,7 @@ def unescape_literal(text: str) -> str:
             out.append(chr(int(text[i + 2 : i + 10], 16)))
             i += 10
         else:
-            raise ValueError(f"unknown escape sequence \\{nxt}")
+            raise ValidationError(f"unknown escape sequence \\{nxt}")
     return "".join(out)
 
 

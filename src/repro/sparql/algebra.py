@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from ..rdf.terms import IRI, BlankNode, Literal
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,7 +82,7 @@ class Comparison:
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
-            raise ValueError(f"unsupported comparison operator {self.op!r}")
+            raise ValidationError(f"unsupported comparison operator {self.op!r}")
 
     @property
     def variables(self) -> set[Variable]:

@@ -20,6 +20,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from .algebra import SelectQuery, TriplePattern, Variable
+from ..errors import ValidationError
 
 #: The shape classes, in WatDiv's naming.
 SHAPES = ("star", "linear", "snowflake", "complex")
@@ -50,7 +51,7 @@ def analyze_bgp(patterns: tuple[TriplePattern, ...] | list[TriplePattern]) -> Bg
     """Classify a conjunction of triple patterns by shape."""
     patterns = list(patterns)
     if not patterns:
-        raise ValueError("cannot analyze an empty pattern list")
+        raise ValidationError("cannot analyze an empty pattern list")
 
     occurrences: dict[Variable, list[int]] = defaultdict(list)
     for index, pattern in enumerate(patterns):

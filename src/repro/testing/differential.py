@@ -25,6 +25,7 @@ from ..sparql.parser import parse_sparql
 from .graphgen import GraphGenConfig, generate_graph
 from .oracle import BruteForceOracle
 from .querygen import QueryGenConfig, generate_query, serialize_query
+from ..errors import ValidationError
 
 #: Systems the differential harness covers, in reporting order.
 ALL_SYSTEMS = ("prost-mixed", "prost-vp", "s2rdf", "sparqlgx", "rya")
@@ -85,7 +86,7 @@ def make_system(name: str, cluster_config: ClusterConfig | None = None):
         return SparqlGx(cluster_config=cluster_config)
     if name == "rya":
         return Rya()
-    raise ValueError(f"unknown system {name!r}")
+    raise ValidationError(f"unknown system {name!r}")
 
 
 @dataclass

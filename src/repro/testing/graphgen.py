@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, XSD_INTEGER, Literal, Triple
 from ..watdiv.schema import ALL_PROPERTIES, MULTIVALUED_PROPERTIES, WSDBM
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -52,15 +53,15 @@ class GraphGenConfig:
 
     def __post_init__(self) -> None:
         if self.num_triples < 1:
-            raise ValueError("num_triples must be positive")
+            raise ValidationError("num_triples must be positive")
         if self.num_entities < 2:
-            raise ValueError("num_entities must be at least 2")
+            raise ValidationError("num_entities must be at least 2")
         if self.num_predicates < 1:
-            raise ValueError("num_predicates must be positive")
+            raise ValidationError("num_predicates must be positive")
         for name in ("multi_valued_density", "literal_ratio", "integer_ratio"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} must be within [0, 1]")
+                raise ValidationError(f"{name} must be within [0, 1]")
 
 
 def predicate_pool(count: int) -> list[IRI]:

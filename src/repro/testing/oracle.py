@@ -32,6 +32,7 @@ from ..rdf.reference import evaluate_filter
 from ..rdf.terms import Term, Triple
 from ..sparql.algebra import SelectQuery, TriplePattern, Variable
 from ..core.results import solution_sort_key
+from ..errors import ValidationError
 
 #: One solution mapping: variable name → bound term.
 Binding = dict[str, Term]
@@ -46,7 +47,7 @@ class BruteForceOracle:
     def evaluate(self, query: SelectQuery) -> list[tuple[Term | None, ...]]:
         """All solutions of ``query``, post-processed like every engine."""
         if query.is_union or query.optional_groups or query.aggregates:
-            raise ValueError(
+            raise ValidationError(
                 "the fuzzing oracle evaluates the plain BGP fragment only"
             )
         bindings = self._match(list(query.patterns))

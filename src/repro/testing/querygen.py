@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal, Term, XSD_INTEGER
+from ..errors import ValidationError
 from ..sparql.algebra import (
     And,
     Comparison,
@@ -53,7 +54,7 @@ class QueryGenConfig:
 
     def __post_init__(self) -> None:
         if self.max_patterns < 1:
-            raise ValueError("max_patterns must be positive")
+            raise ValidationError("max_patterns must be positive")
 
 
 #: Regex patterns the generator draws from (simple, escape-free).
@@ -255,7 +256,7 @@ def serialize_query(query: SelectQuery) -> str:
     every query the generator emits (the differential runner asserts this).
     """
     if query.is_union or query.optional_groups or query.aggregates:
-        raise ValueError("serialize_query covers the fuzzing BGP fragment only")
+        raise ValidationError("serialize_query covers the fuzzing BGP fragment only")
     parts = ["SELECT"]
     if query.distinct:
         parts.append("DISTINCT")
@@ -290,7 +291,7 @@ def _serialize_expression(expression: FilterExpression) -> str:
         return " || ".join(
             f"({_serialize_expression(op)})" for op in expression.operands
         )
-    raise ValueError(f"unsupported filter expression {expression!r}")
+    raise ValidationError(f"unsupported filter expression {expression!r}")
 
 
 def _serialize_operand(slot: PatternTerm) -> str:

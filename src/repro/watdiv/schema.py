@@ -10,6 +10,7 @@ populations and the properties used by the 20 basic-testing queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import ValidationError
 
 WSDBM = "http://db.uwaterloo.ca/~galuc/wsdbm/"
 FOAF = "http://xmlns.com/foaf/"
@@ -44,7 +45,7 @@ class Populations:
 
     def __post_init__(self) -> None:
         if self.scale < 10:
-            raise ValueError("scale must be at least 10")
+            raise ValidationError("scale must be at least 10")
 
     @property
     def users(self) -> int:

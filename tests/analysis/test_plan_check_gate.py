@@ -1,0 +1,87 @@
+"""The pre-execution gate: a corrupted plan is rejected before it runs,
+and ``REPRO_PLAN_CHECK=0`` opts out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import plan_check_enabled, set_plan_check_enabled
+from repro.core.prost import ProstEngine
+from repro.errors import PlanVerificationError, ReproError
+
+QUERY = (
+    "SELECT ?x ?n WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/name> ?n }"
+)
+
+
+@pytest.fixture()
+def tampering_engine(social_graph):
+    """An engine whose translator stamps one stale priority per tree."""
+    engine = ProstEngine(num_workers=3, strategy="mixed")
+    engine.load(social_graph)
+    translator = engine._translator
+    original = translator.translate_bgp
+
+    def tampered(patterns):
+        tree = original(patterns)
+        tree.nodes[-1].priority += 7777.0
+        return tree
+
+    translator.translate_bgp = tampered
+    return engine
+
+
+def test_gate_rejects_tampered_plan(tampering_engine):
+    with pytest.raises(PlanVerificationError) as excinfo:
+        tampering_engine.sparql(QUERY)
+    error = excinfo.value
+    assert any(d.code == "PV105" for d in error.diagnostics)
+    assert "PV105" in str(error)
+    assert "!!" in str(error)  # EXPLAIN-style rendering, findings marked
+
+
+def test_gate_error_is_a_repro_error(tampering_engine):
+    with pytest.raises(ReproError):
+        tampering_engine.sparql(QUERY)
+
+
+def test_gate_can_be_disabled(tampering_engine):
+    previous = set_plan_check_enabled(False)
+    try:
+        result = tampering_engine.sparql(QUERY)  # runs despite the tamper
+        assert len(result) > 0
+    finally:
+        set_plan_check_enabled(previous)
+
+
+def test_setter_returns_previous_value():
+    first = plan_check_enabled()
+    try:
+        assert set_plan_check_enabled(False) == first
+        assert plan_check_enabled() is False
+        assert set_plan_check_enabled(True) is False
+    finally:
+        set_plan_check_enabled(first)
+
+
+def test_env_var_parsing(monkeypatch):
+    """``REPRO_PLAN_CHECK`` accepts the usual falsy spellings at import."""
+    import importlib
+
+    import repro.analysis as analysis
+
+    monkeypatch.setenv("REPRO_PLAN_CHECK", "0")
+    importlib.reload(analysis)
+    assert analysis.plan_check_enabled() is False
+    monkeypatch.setenv("REPRO_PLAN_CHECK", "yes")
+    importlib.reload(analysis)
+    assert analysis.plan_check_enabled() is True
+    monkeypatch.delenv("REPRO_PLAN_CHECK")
+    importlib.reload(analysis)
+    assert analysis.plan_check_enabled() is True
+
+
+def test_clean_queries_pass_the_gate(prost_mixed):
+    assert plan_check_enabled()
+    result = prost_mixed.sparql(QUERY)
+    assert len(result) > 0

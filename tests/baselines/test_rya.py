@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import LoaderError
 from repro.baselines import Rya
 from repro.baselines.rya import RyaCostModel, _best_index
 from repro.rdf import Graph
@@ -74,7 +75,9 @@ class TestQuerying:
         assert loaded.sparql(parsed).rows == want
 
     def test_query_before_load_rejected(self):
-        with pytest.raises(RuntimeError):
+        # Pinned: Rya used to raise a bare RuntimeError here; the error
+        # hierarchy lint now requires the shared LoaderError.
+        with pytest.raises(LoaderError):
             Rya().sparql("SELECT ?s WHERE { ?s <http://ex/p> ?o }")
 
     def test_selective_query_costs_less_than_scan_heavy(self, loaded):
