@@ -26,7 +26,16 @@ from .base import LintViolation, SourceFile
 RULE = "determinism"
 
 #: Subpackages forming the deterministic data plane.
-DATA_PLANE = ("engine", "core", "columnar", "hdfs", "kvstore", "rdf", "sparql")
+DATA_PLANE = (
+    "engine",
+    "core",
+    "columnar",
+    "hdfs",
+    "kvstore",
+    "rdf",
+    "sparql",
+    "vector",
+)
 
 #: Modules allowed to hold a seeded ``random.Random`` (relative names).
 SEEDED_RANDOM_ALLOWED = ("engine/faults.py",)

@@ -1,11 +1,12 @@
-"""Wall-clock microbenchmark: the strings-vs-IDs ablation.
+"""Wall-clock microbenchmark: the strings → IDs → vectors ablation.
 
 Unlike the paper-reproduction harness (``harness.py``), which reports
 *simulated* cluster seconds, this benchmark measures real wall-clock time
 of this process: load a WatDiv graph into PRoST (mixed strategy) and run
-the join-heavy query mix (star, snowflake, and complex groups) twice —
-once with the legacy string cells and once with dictionary term IDs —
-then report the speedup. Results land in ``BENCH_engine.json`` at the
+the join-heavy query mix (star, snowflake, and complex groups) three
+times — legacy string cells on row tuples, dictionary term IDs on row
+tuples, and term IDs on column batches (the vectorized executor) — then
+report each step's speedup. Results land in ``BENCH_engine.json`` at the
 repository root so the perf trajectory is tracked PR over PR.
 """
 
@@ -19,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..core.prost import ProstEngine
 from ..rdf.dictionary import default_dictionary, term_ids
+from ..vector import vectorized
 from ..watdiv.generator import generate_watdiv
 from ..watdiv.queries import basic_query_set
 
@@ -48,13 +50,22 @@ class ModeResult:
         }
 
 
+#: mode name -> (dictionary term IDs on?, vectorized executor on?).
+BENCH_MODES = {
+    "strings": (False, False),
+    "ids": (True, False),
+    "vectors": (True, True),
+}
+
+
 def _run_mode(mode: str, dataset, queries, repeats: int, tracer=None) -> ModeResult:
     """Load and run the query mix with cells in the given representation.
 
     With a tracer, the load and the *first* sample of each query record
     spans (repeat samples run untraced so medians stay honest).
     """
-    with term_ids(mode == "ids"):
+    use_ids, use_vectors = BENCH_MODES[mode]
+    with term_ids(use_ids), vectorized(use_vectors):
         # A fresh ID space per mode keeps the two runs independent.
         default_dictionary().clear()
         engine = ProstEngine()
@@ -107,12 +118,17 @@ def run_quick_bench(
     queries = [q for q in basic_query_set(dataset) if q.group in groups]
     strings = _run_mode("strings", dataset, queries, repeats, tracer=tracer)
     ids = _run_mode("ids", dataset, queries, repeats, tracer=tracer)
+    vectors = _run_mode("vectors", dataset, queries, repeats, tracer=tracer)
     speedup = strings.query_sec / ids.query_sec if ids.query_sec > 0 else float("inf")
+    vector_speedup = (
+        ids.query_sec / vectors.query_sec if vectors.query_sec > 0 else float("inf")
+    )
     return {
         "benchmark": "quick",
         "description": (
             "PRoST mixed-strategy wall clock on the join-heavy WatDiv mix "
-            "(groups %s): string cells vs dictionary term IDs" % "/".join(groups)
+            "(groups %s): string cells vs dictionary term IDs vs "
+            "vectorized column batches" % "/".join(groups)
         ),
         "scale": scale,
         "seed": seed,
@@ -122,8 +138,10 @@ def run_quick_bench(
         "modes": {
             "strings": strings.to_dict(),
             "ids": ids.to_dict(),
+            "vectors": vectors.to_dict(),
         },
         "query_speedup": round(speedup, 2),
+        "vector_speedup": round(vector_speedup, 2),
         "load_speedup": round(
             strings.load_sec / ids.load_sec if ids.load_sec > 0 else float("inf"), 2
         ),
@@ -140,12 +158,15 @@ def render_quick_bench(payload: dict) -> str:
     """A terminal summary of the ablation."""
     strings = payload["modes"]["strings"]
     ids = payload["modes"]["ids"]
+    vectors = payload["modes"]["vectors"]
     lines = [
         f"quick bench: scale={payload['scale']} "
         f"({payload['triples']:,} triples), "
         f"{len(payload['queries'])} join-heavy queries × {payload['repeats']} runs",
         f"  strings: load {strings['load_sec']:.2f}s  queries {strings['query_sec']:.3f}s",
         f"  ids:     load {ids['load_sec']:.2f}s  queries {ids['query_sec']:.3f}s",
+        f"  vectors: load {vectors['load_sec']:.2f}s  queries {vectors['query_sec']:.3f}s",
         f"  query speedup (strings → ids): {payload['query_speedup']:.2f}x",
+        f"  query speedup (ids → vectors): {payload['vector_speedup']:.2f}x",
     ]
     return "\n".join(lines)

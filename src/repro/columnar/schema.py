@@ -53,6 +53,7 @@ class TableSchema:
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise SchemaError(f"duplicate column names: {duplicates}")
         self.columns: tuple[ColumnSchema, ...] = tuple(columns)
+        self._names: tuple[str, ...] = tuple(names)
         self._by_name = {column.name: i for i, column in enumerate(self.columns)}
 
     def __len__(self) -> int:
@@ -69,7 +70,7 @@ class TableSchema:
 
     @property
     def names(self) -> tuple[str, ...]:
-        return tuple(column.name for column in self.columns)
+        return self._names
 
     def column(self, name: str) -> ColumnSchema:
         """Look up a column by name.

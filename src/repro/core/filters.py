@@ -9,7 +9,7 @@ filter operator and the optimizer's pushdown machinery treat it uniformly.
 
 from __future__ import annotations
 
-from ..engine.expressions import BoundExpression, Expression
+from ..engine.expressions import BoundExpression, Expression, VectorPredicate
 from ..rdf.reference import evaluate_filter
 from ..sparql.algebra import FilterExpression, Variable
 from .encoding import decode_term
@@ -42,6 +42,26 @@ class SparqlCondition(Expression):
                     continue
                 binding[name] = decode_term(cell)
             return evaluate_filter(expression, binding)
+
+        return evaluate
+
+    def bind_vector(self, schema) -> VectorPredicate:
+        variables = sorted(self.references())
+        indexes = {name: schema.index_of(name) for name in variables}
+        expression = self.expression
+
+        def evaluate(columns, sel):
+            bound = [(name, columns[index]) for name, index in indexes.items()]
+            out = []
+            for i in sel:
+                binding = {}
+                for name, column in bound:
+                    cell = column[i]
+                    if cell is not None:
+                        binding[name] = decode_term(cell)
+                if evaluate_filter(expression, binding):
+                    out.append(i)
+            return out
 
         return evaluate
 

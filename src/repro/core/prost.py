@@ -19,6 +19,7 @@ from contextlib import nullcontext
 from ..engine.cluster import ClusterConfig, SimulatedCluster
 from ..engine.dataframe import DataFrame
 from ..engine.session import EngineSession
+from ..engine.vectorized import ColumnarData, _concat
 from ..errors import LoaderError, UnsupportedSparqlError
 from ..rdf.dictionary import TERM_ID_BASE, default_dictionary, ids_enabled
 from ..rdf.graph import Graph
@@ -70,6 +71,12 @@ class ProstEngine:
         self.store: ProstStore | None = None
         self._translator: JoinTreeTranslator | None = None
         self.last_query_report_: QueryExecutionReport | None = None
+        # Prepared-statement caches: query text → parsed AST, and query
+        # text → (frame, tree description). Parsing and translation are
+        # pure functions of the text and the loaded store, so repeated
+        # queries reuse the (immutable) objects; load() clears the plans.
+        self._parse_cache: dict[str, SelectQuery] = {}
+        self._plan_cache: dict[str, tuple[DataFrame, str]] = {}
 
     # -- loading -----------------------------------------------------------------
 
@@ -89,6 +96,7 @@ class ProstEngine:
             use_object_property_table=self.use_object_property_table,
             use_statistics=self.use_statistics,
         )
+        self._plan_cache.clear()
         assert self.store.load_report is not None
         return self.store.load_report
 
@@ -108,8 +116,18 @@ class ProstEngine:
 
     def dataframe(self, query: str | SelectQuery) -> tuple[DataFrame, str]:
         """The engine DataFrame computing a query (before modifiers), plus a
-        textual rendering of the Join Tree(s) behind it."""
+        textual rendering of the Join Tree(s) behind it.
+
+        String queries hit the prepared-statement cache: the frame returned
+        for a repeated text is the one already translated (and statically
+        verified) against the current store.
+        """
         store = self._require_store()
+        text = query if isinstance(query, str) else None
+        if text is not None:
+            cached = self._plan_cache.get(text)
+            if cached is not None:
+                return cached
         parsed = parse_sparql(query) if isinstance(query, str) else query
         assert self._translator is not None
 
@@ -159,6 +177,8 @@ class ProstEngine:
                 catalog=self.session.catalog,
                 config=self.session.config,
             )
+        if text is not None:
+            self._plan_cache[text] = (frame, description)
         return frame, description
 
     def _union_frame(
@@ -217,7 +237,13 @@ class ProstEngine:
         carries the query's root span plus a pre-rendered EXPLAIN ANALYZE
         text (when the span tree aligns with the Join Tree).
         """
-        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if isinstance(query, str):
+            parsed = self._parse_cache.get(query)
+            if parsed is None:
+                parsed = parse_sparql(query)
+                self._parse_cache[query] = parsed
+        else:
+            parsed = query
         started = time.perf_counter()
         query_cm = (
             tracer.span("query", engine=self.name)
@@ -227,20 +253,31 @@ class ProstEngine:
         with query_cm as query_span:
             plan_cm = tracer.span("plan") if tracer is not None else nullcontext()
             with plan_cm:
-                frame, tree_description = self.dataframe(parsed)
-            encoded_rows, engine_report = frame.collect_with_report(tracer=tracer)
+                # Pass the raw text when we have it so repeated queries hit
+                # the prepared-statement cache.
+                frame, tree_description = self.dataframe(
+                    query if isinstance(query, str) else parsed
+                )
+            data, engine_report = frame.collect_data_with_report(tracer=tracer)
             final_cm = (
                 tracer.span("finalize") if tracer is not None else nullcontext()
             )
             with final_cm:
-                if ids_enabled():
+                if ids_enabled() and isinstance(data, ColumnarData):
+                    # Fully columnar finalize: sort an index permutation
+                    # over the encoded columns, slice OFFSET/LIMIT, and
+                    # only then decode — each column decodes one dictionary
+                    # lookup per *distinct* ID, and dropped rows never
+                    # materialize at all (late materialization).
+                    rows = _finalize_columnar(parsed, data)
+                elif ids_enabled():
                     # Order (and OFFSET/LIMIT-slice) the *encoded* rows
                     # first: the dictionary memoizes one sort key per ID,
                     # and rows dropped by LIMIT are never decoded at all.
-                    encoded_rows = _apply_modifiers_encoded(parsed, encoded_rows)
+                    encoded_rows = _apply_modifiers_encoded(parsed, data.all_rows())
                     rows = [decode_row(row) for row in encoded_rows]
                 else:
-                    rows = [decode_row(row) for row in encoded_rows]
+                    rows = [decode_row(row) for row in data.all_rows()]
                     rows = _apply_modifiers(parsed, rows)
         wall = time.perf_counter() - started
         explain_text = None
@@ -432,3 +469,84 @@ def _apply_modifiers_encoded(
     if query.limit is not None:
         rows = rows[: query.limit]
     return rows
+
+
+def _finalize_columnar(query: SelectQuery, data: ColumnarData) -> list[tuple]:
+    """Columnar result finalization: modifiers and decode without row tuples.
+
+    The columnar twin of :func:`_apply_modifiers_encoded` followed by
+    :func:`~repro.core.encoding.decode_row`, with identical output: the
+    same ``cell_key`` ordering applied as repeated stable sorts of an index
+    permutation, OFFSET/LIMIT as a slice of that permutation, and the
+    surviving rows decoded column-wise. Sort keys and decoded terms are
+    computed once per *distinct* cell of each column — result columns are
+    low-cardinality, so this is where late materialization pays.
+    """
+    batch = _concat(data)
+    columns = batch.columns
+    sort_key_of = default_dictionary().sort_key_of
+    base = TERM_ID_BASE
+
+    def cell_key(cell) -> tuple:
+        if type(cell) is int and cell >= base:
+            return sort_key_of(cell)
+        if cell is None:
+            return (-1, "")
+        return term_sort_key(decode_term(cell))
+
+    def key_vector(column) -> list:
+        try:
+            distinct = dict.fromkeys(column)
+        except TypeError:  # unhashable cells: fall back to a linear cache
+            cache: dict = {}
+            out = []
+            for cell in column:
+                key = cache.get(id(cell))
+                if key is None:
+                    key = cell_key(cell)
+                    cache[id(cell)] = key
+                out.append(key)
+            return out
+        keys = {cell: cell_key(cell) for cell in distinct}
+        return list(map(keys.__getitem__, column))
+
+    order = list(range(batch.length))
+    projection = list(query.projection)
+    if query.order_by:
+        for condition in reversed(query.order_by):
+            position = projection.index(condition.variable)
+            keys = key_vector(columns[position])
+            order.sort(key=keys.__getitem__, reverse=condition.descending)
+    elif len(columns) == 1:
+        keys = key_vector(columns[0])
+        order.sort(key=keys.__getitem__)
+    elif columns:
+        # Whole-row ordering: one composite key tuple per row via zip (the
+        # same lexicographic order as the row path's per-row key lists).
+        keys = list(zip(*(key_vector(column) for column in columns)))
+        order.sort(key=keys.__getitem__)
+    if query.offset:
+        order = order[query.offset :]
+    if query.limit is not None:
+        order = order[: query.limit]
+
+    decoded_columns = []
+    for column in columns:
+        try:
+            decoded = {
+                cell: None if cell is None else decode_term(cell)
+                for cell in dict.fromkeys(column)
+            }
+        except TypeError:  # unhashable cells: decode row-at-a-time
+            out = [
+                None if column[i] is None else decode_term(column[i]) for i in order
+            ]
+            decoded_columns.append(out)
+            continue
+        # Two C-speed passes: decode each cell through the per-distinct
+        # cache, then gather in emission order.
+        full = list(map(decoded.__getitem__, column))
+        decoded_columns.append(list(map(full.__getitem__, order)))
+    if not decoded_columns:
+        return [()] * len(order)
+    return list(zip(*decoded_columns))

@@ -28,6 +28,10 @@ class StoredTable:
         pruned_cache: memoized column-pruned projections of ``data``, keyed
             by the projected column tuple; catalog tables are immutable once
             registered, so repeated scans can share them.
+        columnar_cache: memoized columnar (:class:`~repro.engine.vectorized.
+            ColumnarData`) forms of ``data`` for vectorized scans — the full
+            transpose under key ``None``, zero-copy column subsets under the
+            projected column tuple.
     """
 
     name: str
@@ -35,6 +39,7 @@ class StoredTable:
     file_stats: FileStatistics | None = None
     hdfs_path: str | None = None
     pruned_cache: dict = field(default_factory=dict, repr=False)
+    columnar_cache: dict = field(default_factory=dict, repr=False)
 
     @property
     def schema(self) -> TableSchema:

@@ -123,6 +123,8 @@ class ExecutionMetrics:
     stages: int = 0
     tasks: int = 0
     rows_output: int = 0
+    vector_batches: int = 0
+    rows_late_materialized: int = 0
     operator_log: list[str] = field(default_factory=list)
     # -- fault tolerance -------------------------------------------------------
     task_retries: int = 0
@@ -172,6 +174,8 @@ class ExecutionMetrics:
         self.stages += other.stages
         self.tasks += other.tasks
         self.rows_output += other.rows_output
+        self.vector_batches += other.vector_batches
+        self.rows_late_materialized += other.rows_late_materialized
         self.operator_log.extend(other.operator_log)
         self.task_retries += other.task_retries
         self.fetch_retries += other.fetch_retries

@@ -80,9 +80,18 @@ class PartitionedData:
         self.partitions = partitions
         self.partitioner = partitioner
         # Partitions are immutable after construction (operators always
-        # build fresh partition lists), so sizing is computed once.
+        # build fresh partition lists), so sizing is computed once. Any
+        # code that does replace the payload in place — e.g. a vectorized
+        # scan swapping in freshly decoded rows — must call
+        # invalidate_size_cache(), or the cost model and the PV205
+        # broadcast-threshold checks would keep pricing the old payload.
         self._num_rows: int | None = None
         self._estimated_bytes: int | None = None
+
+    def invalidate_size_cache(self) -> None:
+        """Drop the memoized row/byte counts after a payload replacement."""
+        self._num_rows = None
+        self._estimated_bytes = None
 
     @property
     def num_partitions(self) -> int:

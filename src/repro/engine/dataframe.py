@@ -158,6 +158,19 @@ class DataFrame:
         )
         return data.all_rows(), report
 
+    def collect_data_with_report(self, run_optimizer: bool = True, tracer=None):
+        """Execute and return the physical dataset itself, unmaterialized.
+
+        Under vectorized execution the result is a
+        :class:`~repro.engine.vectorized.ColumnarData`, letting callers
+        (e.g. the SPARQL finalizer) sort/slice/decode on columns without
+        ever building intermediate row tuples; otherwise a
+        :class:`~repro.engine.data.PartitionedData`.
+        """
+        return self.session.execute(
+            self.plan, run_optimizer=run_optimizer, tracer=tracer
+        )
+
     def count(self) -> int:
         """Execute the plan and return its row count."""
         data, _ = self.session.execute(self.plan)

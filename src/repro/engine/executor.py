@@ -69,18 +69,32 @@ class PhysicalExecutor:
     def __init__(self, catalog: Catalog, config: ClusterConfig):
         self.catalog = catalog
         self.config = config
+        self._vectorized = False
 
     def execute(
         self, plan: LogicalPlan, metrics: ExecutionMetrics, tracer=None
     ) -> PartitionedData:
         """Run ``plan`` and return its materialized output.
 
+        Under ``REPRO_VECTORIZE=1`` (the default) the plan runs on the
+        vectorized operators of :mod:`repro.engine.vectorized` and the
+        result is a :class:`~repro.engine.vectorized.ColumnarData` — same
+        dataset surface, column-batch representation, rows materialized
+        only when collected. ``REPRO_VECTORIZE=0`` keeps this row path for
+        ablation; both produce identical rows, partitioning, and metrics.
+
         With a :class:`~repro.obs.tracer.Tracer` attached, every operator
         records a span carrying its output cardinality and the deltas of
         every registry counter it charged (see :mod:`repro.obs.metrics`).
         """
+        from ..vector import vectorize_enabled
+
+        self._vectorized = vectorize_enabled()
         result = self._run(plan, metrics, tracer)
         metrics.rows_output = result.num_rows
+        if self._vectorized:
+            # Every output row's term decode was deferred past execution.
+            metrics.rows_late_materialized += result.num_rows
         return result
 
     # -- dispatch -------------------------------------------------------------
@@ -112,6 +126,12 @@ class PhysicalExecutor:
     def _dispatch(
         self, plan: LogicalPlan, metrics: ExecutionMetrics, tracer, span
     ) -> PartitionedData:
+        if self._vectorized:
+            # Imported lazily to keep the row path import-free of the
+            # vectorized module (and break the module cycle).
+            from .vectorized import dispatch_vectorized
+
+            return dispatch_vectorized(self, plan, metrics, tracer, span)
         if isinstance(plan, TableScan):
             return self._scan(plan, metrics)
         if isinstance(plan, InMemoryRelation):

@@ -8,12 +8,21 @@ A small Catalyst-style expression tree. Expressions are built with
 Before execution an expression is *bound* to a schema, producing a plain
 Python closure over row tuples — the moral equivalent of Spark's whole-stage
 codegen, and the reason per-row evaluation stays cheap.
+
+Under vectorized execution (:mod:`repro.vector`) the same tree compiles
+via :meth:`Expression.bind_vector` into a **selection-vector kernel**:
+``fn(columns, sel) -> new_sel``, taking the batch's column vectors and the
+ordered live row indices and returning the surviving indices in order. Hot
+nodes (equality against a constant, column-to-column equality, IS NOT
+NULL, AND chains) override it with single list comprehensions over one
+column; everything else falls back to the row closure evaluated through a
+:class:`_ColumnsRow` cursor, so the two paths cannot disagree.
 """
 
 from __future__ import annotations
 
 import re
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from ..columnar.schema import TableSchema
@@ -21,6 +30,29 @@ from ..errors import PlanError
 
 #: A bound expression: evaluates one row tuple to a value.
 BoundExpression = Callable[[tuple], object]
+
+#: A vector-bound predicate: ``(columns, sel) -> new_sel``, filtering the
+#: ordered live indices ``sel`` against the batch's column vectors.
+VectorPredicate = Callable[[tuple, Sequence[int]], list]
+
+
+class _ColumnsRow:
+    """A movable row cursor over column vectors.
+
+    Quacks like a row tuple for :meth:`Expression.bind` closures —
+    ``row[j]`` reads column ``j`` at the cursor's current row — so any
+    expression without a dedicated vector kernel evaluates its existing
+    row closure against batches without materializing tuples.
+    """
+
+    __slots__ = ("columns", "index")
+
+    def __init__(self, columns: tuple):
+        self.columns = columns
+        self.index = 0
+
+    def __getitem__(self, position: int):
+        return self.columns[position][self.index]
 
 
 class Expression:
@@ -33,6 +65,26 @@ class Expression:
     def bind(self, schema: TableSchema) -> BoundExpression:
         """Compile to a closure over row tuples laid out as ``schema``."""
         raise NotImplementedError
+
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        """Compile to a selection-vector kernel over column batches.
+
+        The default adapts the row closure through a :class:`_ColumnsRow`
+        cursor; subclasses with columnar fast paths override it.
+        """
+        predicate = self.bind(schema)
+
+        def evaluate(columns: tuple, sel: Sequence[int]) -> list:
+            row = _ColumnsRow(columns)
+            out = []
+            append = out.append
+            for i in sel:
+                row.index = i
+                if predicate(row):
+                    append(i)
+            return out
+
+        return evaluate
 
     def describe(self) -> str:
         """Human-readable form for plan explanations."""
@@ -106,6 +158,15 @@ class ColumnRef(Expression):
         index = schema.index_of(self.name)
         return lambda row: row[index]
 
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        index = schema.index_of(self.name)
+
+        def evaluate(columns: tuple, sel: Sequence[int]) -> list:
+            column = columns[index]
+            return [i for i in sel if column[i]]
+
+        return evaluate
+
     def describe(self) -> str:
         return self.name
 
@@ -122,6 +183,11 @@ class LiteralValue(Expression):
     def bind(self, schema: TableSchema) -> BoundExpression:
         value = self.value
         return lambda row: value
+
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        if self.value:
+            return lambda columns, sel: list(sel)
+        return lambda columns, sel: []
 
     def describe(self) -> str:
         return repr(self.value)
@@ -183,6 +249,32 @@ class BinaryComparison(Expression):
 
         return evaluate
 
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        # The same two hot shapes as `bind`, as single comprehensions over
+        # one or two column vectors — the vectorized engine's tightest loop.
+        if self.op == "=":
+            if isinstance(self.left, ColumnRef) and isinstance(self.right, LiteralValue):
+                if self.right.value is not None:
+                    index = schema.index_of(self.left.name)
+                    value = self.right.value
+
+                    def equals_literal(columns: tuple, sel: Sequence[int]) -> list:
+                        column = columns[index]
+                        return [i for i in sel if column[i] == value]
+
+                    return equals_literal
+            elif isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef):
+                left_index = schema.index_of(self.left.name)
+                right_index = schema.index_of(self.right.name)
+
+                def equals_column(columns: tuple, sel: Sequence[int]) -> list:
+                    a = columns[left_index]
+                    b = columns[right_index]
+                    return [i for i in sel if a[i] == b[i] and a[i] is not None]
+
+                return equals_column
+        return super().bind_vector(schema)
+
     def describe(self) -> str:
         return f"({self.left.describe()} {self.op} {self.right.describe()})"
 
@@ -243,6 +335,34 @@ class BooleanOp(Expression):
 
         return disjunction
 
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        bound = [operand.bind_vector(schema) for operand in self.operands]
+        if len(bound) == 1:
+            return bound[0]
+        if self.op == "and":
+            # Conjunction narrows the selection operand by operand — each
+            # later predicate only touches rows the earlier ones kept.
+            def conjunction(columns: tuple, sel: Sequence[int]) -> list:
+                out = sel
+                for fn in bound:
+                    out = fn(columns, out)
+                    if not out:
+                        return out if isinstance(out, list) else []
+                return out if isinstance(out, list) else list(out)
+
+            return conjunction
+
+        def disjunction(columns: tuple, sel: Sequence[int]) -> list:
+            # Union of the operands' selections, re-emitted in `sel` order
+            # (set membership only — never set iteration — so row order
+            # stays deterministic).
+            matched: set = set()
+            for fn in bound:
+                matched.update(fn(columns, sel))
+            return [i for i in sel if i in matched]
+
+        return disjunction
+
     def describe(self) -> str:
         joiner = f" {self.op.upper()} "
         return "(" + joiner.join(op.describe() for op in self.operands) + ")"
@@ -260,6 +380,15 @@ class Not(Expression):
     def bind(self, schema: TableSchema) -> BoundExpression:
         inner = self.operand.bind(schema)
         return lambda row: not inner(row)
+
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        inner = self.operand.bind_vector(schema)
+
+        def complement(columns: tuple, sel: Sequence[int]) -> list:
+            matched = set(inner(columns, sel))
+            return [i for i in sel if i not in matched]
+
+        return complement
 
     def describe(self) -> str:
         return f"NOT {self.operand.describe()}"
@@ -280,6 +409,20 @@ class NotNull(Expression):
             return lambda row: row[index] is not None
         inner = self.operand.bind(schema)
         return lambda row: inner(row) is not None
+
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        if isinstance(self.operand, ColumnRef):
+            index = schema.index_of(self.operand.name)
+
+            def not_null(columns: tuple, sel: Sequence[int]) -> list:
+                column = columns[index]
+                if type(sel) is range and len(sel) == len(column):
+                    # Unselected batch: enumerate beats per-index lookups.
+                    return [i for i, value in enumerate(column) if value is not None]
+                return [i for i in sel if column[i] is not None]
+
+            return not_null
+        return super().bind_vector(schema)
 
     def describe(self) -> str:
         return f"{self.operand.describe()} IS NOT NULL"
@@ -307,6 +450,20 @@ class ArrayContains(Expression):
 
         return evaluate
 
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        if isinstance(self.operand, ColumnRef) and isinstance(self.element, LiteralValue):
+            index = schema.index_of(self.operand.name)
+            element = self.element.value
+
+            def contains(columns: tuple, sel: Sequence[int]) -> list:
+                column = columns[index]
+                return [
+                    i for i in sel if column[i] is not None and element in column[i]
+                ]
+
+            return contains
+        return super().bind_vector(schema)
+
     def describe(self) -> str:
         return f"array_contains({self.operand.describe()}, {self.element.describe()})"
 
@@ -332,6 +489,22 @@ class RegexMatch(Expression):
             return compiled.search(value) is not None
 
         return evaluate
+
+    def bind_vector(self, schema: TableSchema) -> VectorPredicate:
+        if isinstance(self.operand, ColumnRef):
+            index = schema.index_of(self.operand.name)
+            search = re.compile(self.pattern).search
+
+            def matches(columns: tuple, sel: Sequence[int]) -> list:
+                column = columns[index]
+                return [
+                    i
+                    for i in sel
+                    if isinstance(column[i], str) and search(column[i]) is not None
+                ]
+
+            return matches
+        return super().bind_vector(schema)
 
     def describe(self) -> str:
         return f"{self.operand.describe()} RLIKE {self.pattern!r}"

@@ -8,6 +8,7 @@ the optimizer, and executed bottom-up by the physical executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from ..columnar.schema import ColumnSchema, TableSchema
 from ..errors import PlanError
@@ -21,7 +22,13 @@ JOIN_HINTS = ("auto", "broadcast", "shuffle")
 
 
 class LogicalPlan:
-    """Base class. Subclasses are frozen dataclasses with a schema property."""
+    """Base class. Subclasses are frozen dataclasses with a schema property.
+
+    Subclass ``schema`` properties are :func:`functools.cached_property`
+    memos: plans are immutable, so the output schema is computed once per
+    node (``cached_property`` writes straight into ``__dict__``, which a
+    frozen dataclass permits — only ``__setattr__`` is sealed).
+    """
 
     @property
     def schema(self) -> TableSchema:
@@ -68,7 +75,7 @@ class TableScan(LogicalPlan):
     #: the table was registered without a keyed partitioner.
     partition_columns: tuple[str, ...] | None = None
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         if self.columns is None:
             return self.table_schema
@@ -101,7 +108,7 @@ class InMemoryRelation(LogicalPlan):
     rows: tuple[tuple, ...]
     label: str = "local"
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         return self.relation_schema
 
@@ -129,7 +136,7 @@ class Filter(LogicalPlan):
         if missing:
             raise PlanError(f"filter references unknown columns: {sorted(missing)}")
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         return self.child.schema
 
@@ -164,7 +171,7 @@ class Project(LogicalPlan):
                     f"project output {name!r} references unknown columns: {sorted(missing)}"
                 )
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         child_schema = self.child.schema
         columns = []
@@ -238,7 +245,7 @@ class Join(LogicalPlan):
             if missing:
                 raise PlanError(f"{side} side lacks join columns: {sorted(missing)}")
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         if self.how in ("semi", "anti"):
             return self.left.schema
@@ -289,7 +296,7 @@ class Explode(LogicalPlan):
         if not source.is_list:
             raise PlanError(f"explode expects a list column, got {source.type!r}")
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         out_name = self.output_name or self.column
         columns = []
@@ -321,7 +328,7 @@ class Distinct(LogicalPlan):
 
     child: LogicalPlan
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         return self.child.schema
 
@@ -351,7 +358,7 @@ class Sort(LogicalPlan):
             if not self.child.schema.has_column(name):
                 raise PlanError(f"sort key {name!r} is not an output column")
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         return self.child.schema
 
@@ -382,7 +389,7 @@ class Limit(LogicalPlan):
         if self.offset < 0:
             raise PlanError("offset must be non-negative")
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         return self.child.schema
 
@@ -444,7 +451,7 @@ class Aggregate(LogicalPlan):
                     f"aggregate input {spec.input_column!r} is not a child column"
                 )
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         columns = [self.child.schema.column(key) for key in self.keys]
         columns.extend(ColumnSchema(spec.output, "int") for spec in self.aggregates)
@@ -482,7 +489,7 @@ class Union(LogicalPlan):
                     f"union inputs disagree on columns: {first} vs {plan.schema.names}"
                 )
 
-    @property
+    @cached_property
     def schema(self) -> TableSchema:
         return self.inputs[0].schema
 

@@ -46,10 +46,19 @@ from .logical import (
 
 
 def optimize(plan: LogicalPlan) -> LogicalPlan:
-    """Apply all rules and return the rewritten plan."""
-    plan = push_down_filters(plan)
-    plan = prune_columns(plan, set(plan.schema.names))
-    return plan
+    """Apply all rules and return the rewritten plan.
+
+    The result is memoized on the (immutable) plan instance: re-executing a
+    prepared plan reuses the exact same rewritten node objects, which keeps
+    filter-condition identity stable — the vectorized executor memoizes
+    per-batch selections by condition — and skips redundant rewriting.
+    """
+    cached = plan.__dict__.get("_optimized_memo")
+    if cached is None:
+        cached = push_down_filters(plan)
+        cached = prune_columns(cached, set(cached.schema.names))
+        plan.__dict__["_optimized_memo"] = cached
+    return cached
 
 
 # -- expression utilities -----------------------------------------------------

@@ -1,0 +1,868 @@
+"""Vectorized physical operators: the column-batch twin of ``executor.py``.
+
+Every operator in :class:`~repro.engine.executor.PhysicalExecutor` has a
+columnar counterpart here that consumes and produces :class:`ColumnarData`
+— one :class:`~repro.vector.ColumnBatch` per partition — instead of lists
+of row tuples. The contract with the row path is strict equivalence:
+
+- **identical results** — collecting a :class:`ColumnarData` yields the
+  same row multiset *in the same per-partition order* as the row path,
+  because filters keep selection order, joins probe left-major with
+  build-side insertion order, and shuffles reuse the exact
+  ``splitmix64``/``crc32`` placement of ``engine.data.repartition_by_key``;
+- **identical accounting** — each operator charges the same counters in
+  the same order and records the same ``(tasks, note)`` stage sequence, so
+  cost totals, EXPLAIN ANALYZE reconciliation, and the seeded
+  :class:`~repro.engine.faults.FaultInjector` (which attributes counter
+  deltas per stage) are byte-for-byte unchanged.
+
+What changes is the inner loop: filters narrow a selection vector with one
+list comprehension per predicate instead of a bound-lambda call per row;
+projections and semi/anti joins are zero-copy column-subset or
+selection-only views; hash joins gather output columns with per-column
+comprehensions instead of building a tuple per output row. Row tuples are
+only materialized at the edges (:meth:`ColumnarData.all_rows`), which is
+where dictionary term IDs finally decode — late materialization.
+
+The row path stays available behind ``REPRO_VECTORIZE=0``
+(:mod:`repro.vector.batch`) for ablation and as an executable oracle.
+"""
+
+from __future__ import annotations
+
+import zlib
+from itertools import chain, repeat
+
+from ..errors import ExecutionError, PlanError
+from ..vector import ColumnBatch, batch_bytes
+from .cluster import ExecutionMetrics
+from .data import (
+    HashPartitioner,
+    _mix_int,
+    partition_evenly,
+    repartition_by_key,
+)
+from .executor import (
+    _freeze_row,
+    _freeze_value,
+    _group_sort_key,
+    _project_partitioner,
+    _sort_key,
+)
+from .expressions import ColumnRef, LiteralValue, _ColumnsRow
+from .logical import (
+    Aggregate,
+    Distinct,
+    Explode,
+    Filter,
+    InMemoryRelation,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    TableScan,
+    Union,
+)
+
+__all__ = ["ColumnarData", "dispatch_vectorized"]
+
+
+class ColumnarData:
+    """Partitioned columnar dataset: the vectorized twin of
+    :class:`~repro.engine.data.PartitionedData`.
+
+    Exposes the same surface the executor and session rely on
+    (``schema`` / ``partitioner`` / ``num_partitions`` / ``num_rows`` /
+    ``all_rows`` / ``is_partitioned_on`` / ``estimated_bytes``), so
+    everything downstream of :meth:`PhysicalExecutor.execute` works
+    unchanged whichever representation a query ran on.
+    """
+
+    __slots__ = ("schema", "batches", "partitioner", "_num_rows", "_estimated_bytes")
+
+    def __init__(
+        self,
+        schema,
+        batches: list[ColumnBatch],
+        partitioner: HashPartitioner | None = None,
+    ):
+        if not batches:
+            batches = [ColumnBatch(tuple([] for _ in schema.names), 0)]
+        if partitioner is not None and partitioner.num_partitions != len(batches):
+            raise PlanError(
+                "partitioner partition count does not match the batch list"
+            )
+        self.schema = schema
+        self.batches = batches
+        self.partitioner = partitioner
+        # Like PartitionedData, batches are immutable after construction —
+        # operators always build fresh batch lists (or selection views) —
+        # so sizing is computed once; see invalidate_size_cache().
+        self._num_rows: int | None = None
+        self._estimated_bytes: int | None = None
+
+    @classmethod
+    def from_partitioned(cls, data) -> "ColumnarData":
+        """Transpose a row dataset into batches, carrying its size memos.
+
+        Raises:
+            PlanError: when the source's memoized row count disagrees with
+                the rows actually present — i.e. someone replaced the
+                payload without ``invalidate_size_cache()``.
+        """
+        width = len(data.schema.names)
+        batches = [ColumnBatch.from_rows(width, part) for part in data.partitions]
+        result = cls(data.schema, batches, data.partitioner)
+        if data._num_rows is not None:
+            actual = sum(batch.num_rows for batch in batches)
+            if actual != data._num_rows:
+                raise PlanError(
+                    "stale PartitionedData size memo: the payload changed "
+                    "without invalidate_size_cache()"
+                )
+        result._num_rows = data._num_rows
+        result._estimated_bytes = data._estimated_bytes
+        return result
+
+    @property
+    def num_partitions(self) -> int:
+        """How many batches (partitions) the data is split into."""
+        return len(self.batches)
+
+    @property
+    def num_rows(self) -> int:
+        """Total live rows across all batches (cached)."""
+        if self._num_rows is None:
+            self._num_rows = sum(batch.num_rows for batch in self.batches)
+        return self._num_rows
+
+    def all_rows(self) -> list[tuple]:
+        """Materialize every live row as a tuple (driver-side collect)."""
+        rows: list[tuple] = []
+        for batch in self.batches:
+            rows.extend(batch.rows())
+        return rows
+
+    def is_partitioned_on(self, columns: tuple[str, ...]) -> bool:
+        """Whether rows are hash-placed by exactly these columns."""
+        return self.partitioner is not None and self.partitioner.columns == columns
+
+    def estimated_bytes(self) -> int:
+        """Shuffle-size estimate, identical to the row path's accounting."""
+        if self._estimated_bytes is None:
+            self._estimated_bytes = sum(
+                batch_bytes(batch) for batch in self.batches
+            )
+        return self._estimated_bytes
+
+    def invalidate_size_cache(self) -> None:
+        """Drop the memoized sizes after a payload replacement."""
+        self._num_rows = None
+        self._estimated_bytes = None
+
+
+def dispatch_vectorized(
+    executor, plan: LogicalPlan, metrics: ExecutionMetrics, tracer, span
+) -> ColumnarData:
+    """Route one plan node to its vectorized operator.
+
+    Called from ``PhysicalExecutor._dispatch`` when vectorized execution is
+    on; recursion back into child plans goes through ``executor._run`` so
+    every operator keeps its trace span. ``engine.vector_batches`` counts
+    each operator's output batches (charged after the operator's stage
+    record; the fault injector only snapshots the scan/row/shuffle work
+    counters, so the ordering is inert to fault accounting).
+    """
+    if isinstance(plan, TableScan):
+        result = _scan(executor, plan, metrics)
+    elif isinstance(plan, InMemoryRelation):
+        result = _local(executor, plan, metrics)
+    elif isinstance(plan, Filter):
+        result = _filter(executor, plan, metrics, tracer)
+    elif isinstance(plan, Project):
+        result = _project(executor, plan, metrics, tracer)
+    elif isinstance(plan, Join):
+        result = _join(executor, plan, metrics, tracer, span)
+    elif isinstance(plan, Explode):
+        result = _explode(executor, plan, metrics, tracer)
+    elif isinstance(plan, Distinct):
+        result = _distinct(executor, plan, metrics, tracer)
+    elif isinstance(plan, Sort):
+        result = _sort(executor, plan, metrics, tracer)
+    elif isinstance(plan, Limit):
+        result = _limit(executor, plan, metrics, tracer)
+    elif isinstance(plan, Union):
+        result = _union(executor, plan, metrics, tracer)
+    elif isinstance(plan, Aggregate):
+        result = _aggregate(executor, plan, metrics, tracer)
+    else:
+        raise PlanError(f"no vectorized implementation for {type(plan).__name__}")
+    metrics.vector_batches += result.num_partitions
+    if span is not None:
+        span.set("vectorized", True)
+    return result
+
+
+# -- leaves -------------------------------------------------------------------
+
+
+def _table_columnar(table) -> ColumnarData:
+    """The cached columnar form of a catalog table (transposed once)."""
+    base = table.columnar_cache.get(None)
+    if base is None:
+        base = ColumnarData.from_partitioned(table.data)
+        table.columnar_cache[None] = base
+    return base
+
+
+def _scan(executor, plan: TableScan, metrics: ExecutionMetrics) -> ColumnarData:
+    table = executor.catalog.get(plan.table_name)
+    columns = plan.columns
+    metrics.bytes_scanned += table.scan_bytes(columns)
+    metrics.rows_scanned += table.row_count
+    metrics.record_stage(
+        tasks=table.data.num_partitions,
+        note=f"Scan {plan.table_name} cols={list(columns) if columns else '*'}",
+    )
+    base = _table_columnar(table)
+    if columns is None:
+        return base
+    cached = table.columnar_cache.get(columns)
+    if cached is not None:
+        return cached
+    # Column pruning is a zero-copy column subset — the vectorized payoff
+    # over the row path's per-row itemgetter pass.
+    indexes = [table.schema.index_of(name) for name in columns]
+    batches = [
+        ColumnBatch(tuple(batch.columns[i] for i in indexes), batch.length, batch.sel)
+        for batch in base.batches
+    ]
+    partitioner = table.data.partitioner
+    if partitioner is not None and not set(partitioner.columns) <= set(columns):
+        partitioner = None
+    pruned = ColumnarData(table.schema.select(list(columns)), batches, partitioner)
+    table.columnar_cache[columns] = pruned
+    return pruned
+
+
+def _local(executor, plan: InMemoryRelation, metrics: ExecutionMetrics) -> ColumnarData:
+    metrics.record_stage(tasks=1, note=f"LocalRelation {plan.label}")
+    partitions = partition_evenly(list(plan.rows), executor.config.default_partitions)
+    width = len(plan.relation_schema.names)
+    batches = [ColumnBatch.from_rows(width, part) for part in partitions]
+    return ColumnarData(plan.relation_schema, batches)
+
+
+# -- narrow operators ---------------------------------------------------------
+
+
+def _filter(executor, plan: Filter, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    child = executor._run(plan.child, metrics, tracer)
+    predicate = plan.condition.bind_vector(child.schema)
+    metrics.narrow_rows_processed += child.num_rows
+    metrics.record_stage(
+        tasks=child.num_partitions, note=f"Filter {plan.condition.describe()}"
+    )
+    # The selection produced over an unselected batch is a pure function of
+    # (columns, condition); prepared-statement plans reuse their condition
+    # objects across repeated queries, so the computed selection is memoized
+    # on the batch's shared cache, keyed by the condition itself (identity
+    # hash — holding it in the key pins the object, so the key can never
+    # collide with a later condition the way a bare id() could). Selection
+    # vectors are never mutated downstream, making the share safe.
+    try:
+        memo_key = ("filter", plan.condition)
+        hash(memo_key)
+    except TypeError:
+        memo_key = None
+    batches = []
+    for batch in child.batches:
+        if batch.sel is None and memo_key is not None:
+            sel = batch.bytes_cache.get(memo_key)
+            if sel is None:
+                sel = predicate(batch.columns, batch.live())
+                batch.bytes_cache[memo_key] = sel
+        else:
+            sel = predicate(batch.columns, batch.live())
+        batches.append(ColumnBatch(batch.columns, batch.length, sel, batch.bytes_cache))
+    return ColumnarData(child.schema, batches, child.partitioner)
+
+
+def _project(executor, plan: Project, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    child = executor._run(plan.child, metrics, tracer)
+    metrics.narrow_rows_processed += child.num_rows
+    metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
+    if all(isinstance(expr, ColumnRef) for _, expr in plan.outputs):
+        # Pure column shuffles share the underlying vectors and the
+        # selection — no cells are touched at all.
+        indexes = [child.schema.index_of(expr.name) for _, expr in plan.outputs]
+        batches = [
+            ColumnBatch(tuple(batch.columns[i] for i in indexes), batch.length, batch.sel)
+            for batch in child.batches
+        ]
+    else:
+        # Computed outputs need value columns aligned with the live rows,
+        # so compact first; plain column/literal outputs stay vectorized
+        # and only genuinely computed expressions evaluate per row.
+        batches = []
+        for source in child.batches:
+            compacted = source.compact()
+            length = compacted.length
+            out_columns = []
+            for _, expression in plan.outputs:
+                if isinstance(expression, ColumnRef):
+                    out_columns.append(
+                        compacted.columns[child.schema.index_of(expression.name)]
+                    )
+                elif isinstance(expression, LiteralValue):
+                    out_columns.append([expression.value] * length)
+                else:
+                    fn = expression.bind(child.schema)
+                    cursor = _ColumnsRow(compacted.columns)
+                    values = []
+                    for i in range(length):
+                        cursor.index = i
+                        values.append(fn(cursor))
+                    out_columns.append(values)
+            batches.append(ColumnBatch(tuple(out_columns), length))
+    partitioner = _project_partitioner(plan, child.partitioner)
+    return ColumnarData(plan.schema, batches, partitioner)
+
+
+def _explode(executor, plan: Explode, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    child = executor._run(plan.child, metrics, tracer)
+    index = child.schema.index_of(plan.column)
+    metrics.narrow_rows_processed += child.num_rows
+    metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
+    # An explode of an unselected batch is a pure function of (columns,
+    # column index); persistent scan batches keep their exploded form (and
+    # its size memos) across queries.
+    memo_key = ("explode", index)
+    batches = []
+    for batch in child.batches:
+        if batch.sel is None:
+            cached = batch.bytes_cache.get(memo_key)
+            if cached is not None:
+                batches.append(cached)
+                continue
+        source = batch.columns[index]
+        live = batch.live()
+        # C-speed flatten: empty/None cells contribute zero elements, and
+        # the gather list repeats each source row once per element.
+        if batch.sel is None:
+            cells = [cell or () for cell in source]
+        else:
+            cells = [source[i] or () for i in live]
+        lens = list(map(len, cells))
+        flat = list(chain.from_iterable(cells))
+        if batch.sel is None and lens and min(lens) == 1 == max(lens):
+            # Every cell holds exactly one element: the explode is a pure
+            # unwrap of the list column — all other columns pass through.
+            out_columns = tuple(
+                flat if j == index else column
+                for j, column in enumerate(batch.columns)
+            )
+            out = ColumnBatch(out_columns, batch.length)
+        else:
+            gather = list(chain.from_iterable(map(repeat, live, lens)))
+            out_columns = tuple(
+                flat if j == index else [column[i] for i in gather]
+                for j, column in enumerate(batch.columns)
+            )
+            out = ColumnBatch(out_columns, len(gather))
+        if batch.sel is None:
+            batch.bytes_cache[memo_key] = out
+        batches.append(out)
+    partitioner = child.partitioner
+    if partitioner is not None and plan.column in partitioner.columns:
+        partitioner = None
+    return ColumnarData(plan.schema, batches, partitioner)
+
+
+# -- batch plumbing -----------------------------------------------------------
+
+
+def _concat(data: ColumnarData) -> ColumnBatch:
+    """All live rows of a dataset as one compacted batch (collect)."""
+    if len(data.batches) == 1:
+        return data.batches[0].compact()
+    width = len(data.schema.names)
+    columns: list[list] = [[] for _ in range(width)]
+    total = 0
+    for batch in data.batches:
+        sel = batch.sel
+        if sel is None:
+            for j, column in enumerate(batch.columns):
+                columns[j].extend(column)
+            total += batch.length
+        else:
+            for j, column in enumerate(batch.columns):
+                columns[j].extend(column[i] for i in sel)
+            total += len(sel)
+    return ColumnBatch(tuple(columns), total)
+
+
+def _partition_sel(
+    batch: ColumnBatch, key_indexes: list[int], partitioner: HashPartitioner
+) -> list[list[int]]:
+    """Selection vectors placing each live row into its shuffle partition.
+
+    Reproduces ``engine.data.repartition_by_key`` exactly — same
+    splitmix64/crc32 per-cell hashing, same scan order — so a shuffled row
+    lands in the same partition at the same position under either path.
+    """
+    num_partitions = partitioner.num_partitions
+    out: list[list[int]] = [[] for _ in range(num_partitions)]
+    if len(key_indexes) == 1:
+        column = batch.columns[key_indexes[0]]
+        crc32 = zlib.crc32
+        for i in batch.live():
+            part = column[i]
+            if isinstance(part, int):
+                h = _mix_int(part) & 0x7FFFFFFFFFFFFFFF
+            elif isinstance(part, str):
+                h = crc32(part.encode("utf-8", "surrogatepass"))
+            else:
+                h = crc32(repr(part).encode("utf-8", "surrogatepass"))
+            out[h % num_partitions].append(i)
+        return out
+    key_columns = [batch.columns[i] for i in key_indexes]
+    for i in batch.live():
+        key = tuple(column[i] for column in key_columns)
+        out[partitioner.partition_for(key)].append(i)
+    return out
+
+
+def _repartition(
+    data: ColumnarData, key_indexes: list[int], partitioner: HashPartitioner
+) -> list[ColumnBatch]:
+    """Columnar shuffle: one concatenated batch, viewed per target partition.
+
+    The shuffle write is a single gather into one batch plus per-partition
+    selection vectors over it — target batches share the concatenated
+    columns instead of copying rows into per-partition lists.
+    """
+    combined = _concat(data)
+    return [
+        ColumnBatch(combined.columns, combined.length, sel, combined.bytes_cache)
+        for sel in _partition_sel(combined, key_indexes, partitioner)
+    ]
+
+
+# -- joins --------------------------------------------------------------------
+
+
+def _build_index(batch: ColumnBatch, key_indexes: list[int]) -> dict:
+    """Hash-join build side: key → live row indices, insertion-ordered.
+
+    Same semantics as the row kernel's build loop: NULL keys (any NULL part
+    for multi-key joins) never enter the index. For an unselected batch the
+    index is a pure function of (columns, keys), so it is memoized in the
+    batch's shared cache — scans of build-side tables keep their indexes
+    across queries. Probes only read the index, never mutate it.
+    """
+    cache_key = None
+    if batch.sel is None:
+        cache_key = ("build", tuple(key_indexes))
+        cached = batch.bytes_cache.get(cache_key)
+        if cached is not None:
+            return cached
+    build: dict = {}
+    if len(key_indexes) == 1:
+        column = batch.columns[key_indexes[0]]
+        build_get = build.get
+        for i in batch.live():
+            key = column[i]
+            if key is not None:
+                bucket = build_get(key)
+                if bucket is None:
+                    build[key] = [i]
+                else:
+                    bucket.append(i)
+        if cache_key is not None:
+            batch.bytes_cache[cache_key] = build
+        return build
+    key_columns = [batch.columns[i] for i in key_indexes]
+    for i in batch.live():
+        key = tuple(column[i] for column in key_columns)
+        if any(part is None for part in key):
+            continue
+        build.setdefault(key, []).append(i)
+    if cache_key is not None:
+        batch.bytes_cache[cache_key] = build
+    return build
+
+
+def _probe_batch(
+    left: ColumnBatch,
+    right: ColumnBatch,
+    build: dict,
+    left_key_idx: list[int],
+    right_keep_idx: list[int],
+    how: str,
+) -> ColumnBatch:
+    """Probe one left batch against a build index over ``right``.
+
+    Emits left-major output in build insertion order, exactly like the row
+    kernel. Semi/anti joins are selection-only views over the left batch
+    (zero copies); inner/left joins gather per column from index lists,
+    with ``-1`` marking a left-join miss to fill NULLs on the right side.
+    """
+    single = len(left_key_idx) == 1
+    if single:
+        probe_column = left.columns[left_key_idx[0]]
+        probe_key = probe_column.__getitem__
+    else:
+        probe_columns = [left.columns[i] for i in left_key_idx]
+
+        def probe_key(i):
+            key = tuple(column[i] for column in probe_columns)
+            if any(part is None for part in key):
+                return None  # NULL keys never match (SQL semantics)
+            return key
+
+    build_get = build.get
+    if how == "semi":
+        sel = [i for i in left.live() if build_get(probe_key(i))]
+        return ColumnBatch(left.columns, left.length, sel, left.bytes_cache)
+    if how == "anti":
+        sel = [i for i in left.live() if not build_get(probe_key(i))]
+        return ColumnBatch(left.columns, left.length, sel, left.bytes_cache)
+
+    out_left: list[int] = []
+    out_right: list[int] = []
+    if how == "inner":
+        for i in left.live():
+            matches = build_get(probe_key(i))
+            if matches:
+                for m in matches:
+                    out_left.append(i)
+                    out_right.append(m)
+        misses = False
+    elif how == "left":
+        for i in left.live():
+            matches = build_get(probe_key(i))
+            if matches:
+                for m in matches:
+                    out_left.append(i)
+                    out_right.append(m)
+            else:
+                out_left.append(i)
+                out_right.append(-1)
+        misses = True
+    else:
+        raise ExecutionError(f"unsupported join type {how!r}")
+
+    columns: list[list] = [
+        [column[i] for i in out_left] for column in left.columns
+    ]
+    for j in right_keep_idx:
+        column = right.columns[j]
+        if misses:
+            columns.append([None if i < 0 else column[i] for i in out_right])
+        else:
+            columns.append([column[i] for i in out_right])
+    return ColumnBatch(tuple(columns), len(out_left))
+
+
+def _join(
+    executor, plan: Join, metrics: ExecutionMetrics, tracer, span
+) -> ColumnarData:
+    left = executor._run(plan.left, metrics, tracer)
+    right = executor._run(plan.right, metrics, tracer)
+    if plan.how == "cross":
+        if span is not None:
+            span.set("strategy", "cartesian")
+        return _cross_join(plan, left, right, metrics)
+    keys = plan.on
+    left_key_idx = [left.schema.index_of(k) for k in keys]
+    right_key_idx = [right.schema.index_of(k) for k in keys]
+    right_keep_idx = [
+        i for i, column in enumerate(right.schema.columns) if column.name not in keys
+    ]
+
+    left_bytes = left.estimated_bytes()
+    right_bytes = right.estimated_bytes()
+    strategy = executor._choose_strategy(plan, left, right, left_bytes, right_bytes, keys)
+    if span is not None:
+        span.set("on", list(keys))
+        span.set("how", plan.how)
+        span.set(
+            "strategy",
+            {
+                "colocated": "colocated",
+                "broadcast": "broadcast-hash",
+                "shuffle": "shuffle-hash",
+            }[strategy],
+        )
+
+    # Work is charged before the stage is recorded — same contract with the
+    # fault injector as the row path.
+    metrics.rows_processed += left.num_rows + right.num_rows
+    batches: list[ColumnBatch] = []
+    if strategy == "colocated":
+        metrics.colocated_joins += 1
+        metrics.record_stage(
+            tasks=left.num_partitions, note=f"ColocatedJoin on={list(keys)}"
+        )
+        partitioner = left.partitioner
+        for left_batch, right_batch in zip(left.batches, right.batches):
+            build = _build_index(right_batch, right_key_idx)
+            batches.append(
+                _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
+            )
+    elif strategy == "broadcast":
+        small_is_right = right_bytes <= left_bytes or plan.how != "inner"
+        small_bytes = right_bytes if small_is_right else left_bytes
+        if span is not None:
+            span.set("build", "right" if small_is_right else "left")
+        metrics.broadcast_bytes += small_bytes
+        metrics.broadcast_count += 1
+        metrics.record_stage(
+            tasks=(left if small_is_right else right).num_partitions,
+            note=f"BroadcastHashJoin on={list(keys)} build={'right' if small_is_right else 'left'}",
+        )
+        if small_is_right:
+            # The replicated build side is identical everywhere, so the
+            # index is built once and probed per left batch — the row path
+            # rebuilds it per partition; the output rows are the same.
+            right_batch = _concat(right)
+            build = _build_index(right_batch, right_key_idx)
+            partitioner = left.partitioner
+            for left_batch in left.batches:
+                batches.append(
+                    _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
+                )
+        else:
+            # Inner join only: the small left side replicates to every
+            # right partition, so the build runs per right batch against
+            # the one concatenated probe side.
+            left_batch = _concat(left)
+            partitioner = None
+            for right_batch in right.batches:
+                build = _build_index(right_batch, right_key_idx)
+                batches.append(
+                    _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
+                )
+    else:  # shuffle
+        num_partitions = executor.config.default_partitions
+        partitioner = HashPartitioner(columns=keys, num_partitions=num_partitions)
+        metrics.shuffle_bytes += left_bytes + right_bytes
+        metrics.shuffle_rows += left.num_rows + right.num_rows
+        metrics.record_stage(
+            tasks=num_partitions, note=f"ShuffleHashJoin on={list(keys)}"
+        )
+        left_parts = _repartition(left, left_key_idx, partitioner)
+        right_parts = _repartition(right, right_key_idx, partitioner)
+        for left_batch, right_batch in zip(left_parts, right_parts):
+            build = _build_index(right_batch, right_key_idx)
+            batches.append(
+                _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
+            )
+    if plan.how in ("semi", "anti"):
+        out_partitioner = left.partitioner
+    else:
+        out_partitioner = partitioner
+        if out_partitioner is not None and out_partitioner.num_partitions != len(batches):
+            out_partitioner = None
+    return ColumnarData(plan.schema, batches, out_partitioner)
+
+
+def _cross_join(
+    plan: Join, left: ColumnarData, right: ColumnarData, metrics: ExecutionMetrics
+) -> ColumnarData:
+    """Cartesian product on columns: repeat the big side's cells in place,
+    tile the broadcast small side — no per-row tuple concatenation."""
+    left_bytes = left.estimated_bytes()
+    right_bytes = right.estimated_bytes()
+    small_is_right = right_bytes <= left_bytes
+    metrics.broadcast_bytes += min(left_bytes, right_bytes)
+    metrics.broadcast_count += 1
+    metrics.rows_processed += left.num_rows + right.num_rows
+    big = left if small_is_right else right
+    small = _concat(right if small_is_right else left)
+    small_rows = small.length
+    metrics.record_stage(tasks=big.num_partitions, note="CartesianProduct")
+    batches: list[ColumnBatch] = []
+    for batch in big.batches:
+        compacted = batch.compact()
+        big_rows = compacted.length
+        repeated = [
+            [value for value in column for _ in range(small_rows)]
+            for column in compacted.columns
+        ]
+        tiled = [list(column) * big_rows for column in small.columns]
+        columns = repeated + tiled if small_is_right else tiled + repeated
+        batches.append(ColumnBatch(tuple(columns), big_rows * small_rows))
+    return ColumnarData(plan.schema, batches)
+
+
+# -- wide operators -----------------------------------------------------------
+
+
+def _distinct(executor, plan: Distinct, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    child = executor._run(plan.child, metrics, tracer)
+    all_columns = tuple(child.schema.names)
+    if child.is_partitioned_on(all_columns):
+        batches = child.batches
+        partitioner = child.partitioner
+    else:
+        num_partitions = executor.config.default_partitions
+        partitioner = HashPartitioner(columns=all_columns, num_partitions=num_partitions)
+        metrics.shuffle_bytes += child.estimated_bytes()
+        metrics.shuffle_rows += child.num_rows
+        key_idx = list(range(len(all_columns)))
+        batches = _repartition(child, key_idx, partitioner)
+    metrics.rows_processed += child.num_rows
+    metrics.record_stage(tasks=len(batches), note="Distinct")
+    deduped = []
+    for batch in batches:
+        columns = batch.columns
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for i in batch.live():
+            frozen = _freeze_row(tuple(column[i] for column in columns))
+            if frozen not in seen:
+                seen.add(frozen)
+                keep.append(i)
+        deduped.append(ColumnBatch(columns, batch.length, keep, batch.bytes_cache))
+    return ColumnarData(child.schema, deduped, partitioner)
+
+
+def _sort(executor, plan: Sort, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    child = executor._run(plan.child, metrics, tracer)
+    combined = _concat(child)
+    metrics.rows_processed += combined.length
+    metrics.shuffle_bytes += child.estimated_bytes()  # gather to driver
+    metrics.record_stage(tasks=1, note=plan._describe_line())
+    # Sort an index permutation instead of moving rows: precompute the key
+    # vector per sort column, then repeated stable sorts as in the row path.
+    order = list(range(combined.length))
+    for name, descending in reversed(plan.keys):
+        column = combined.columns[child.schema.index_of(name)]
+        key_vector = [_sort_key(value) for value in column]
+        order.sort(key=key_vector.__getitem__, reverse=descending)
+    return ColumnarData(
+        child.schema,
+        [ColumnBatch(combined.columns, combined.length, order, combined.bytes_cache)],
+    )
+
+
+def _limit(executor, plan: Limit, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    child = executor._run(plan.child, metrics, tracer)
+    metrics.record_stage(tasks=1, note=plan._describe_line())
+    stop = None if plan.count is None else plan.offset + plan.count
+    if len(child.batches) == 1:
+        # The common shape (LIMIT over a sorted single batch) slices the
+        # selection without touching any cells.
+        batch = child.batches[0]
+        live = batch.live()
+        sliced = live[plan.offset : stop] if stop is not None else live[plan.offset :]
+        return ColumnarData(
+            child.schema,
+            [ColumnBatch(batch.columns, batch.length, list(sliced), batch.bytes_cache)],
+        )
+    refs = [(batch, i) for batch in child.batches for i in batch.live()]
+    refs = refs[plan.offset : stop] if stop is not None else refs[plan.offset :]
+    width = len(child.schema.names)
+    columns = tuple(
+        [batch.columns[j][i] for batch, i in refs] for j in range(width)
+    )
+    return ColumnarData(child.schema, [ColumnBatch(columns, len(refs))])
+
+
+def _aggregate(executor, plan: Aggregate, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    """Map-side partial aggregation reading columns directly; the merged
+    (small) output reuses the row-path partitioning for identical layout."""
+    child = executor._run(plan.child, metrics, tracer)
+    key_idx = [child.schema.index_of(key) for key in plan.keys]
+    input_idx = [
+        child.schema.index_of(spec.input_column)
+        if spec.input_column is not None
+        else None
+        for spec in plan.aggregates
+    ]
+    metrics.rows_processed += child.num_rows
+
+    partials: list[dict[tuple, list]] = []
+    for batch in child.batches:
+        columns = batch.columns
+        key_columns = [columns[i] for i in key_idx]
+        local: dict[tuple, list] = {}
+        for i in batch.live():
+            key = tuple(column[i] for column in key_columns)
+            state = local.get(key)
+            if state is None:
+                state = [
+                    set() if spec.op == "count_distinct" else 0
+                    for spec in plan.aggregates
+                ]
+                local[key] = state
+            for position, (spec, column) in enumerate(zip(plan.aggregates, input_idx)):
+                if column is not None:
+                    value = columns[column][i]
+                    if value is None:
+                        continue
+                else:
+                    value = None
+                if spec.op == "count_distinct":
+                    if column is None:
+                        value = tuple(col[i] for col in columns)
+                    state[position].add(_freeze_value(value))
+                else:
+                    state[position] += 1
+        partials.append(local)
+
+    partial_groups = sum(len(local) for local in partials)
+    metrics.shuffle_rows += partial_groups
+    metrics.shuffle_bytes += partial_groups * (16 + 8 * len(plan.aggregates))
+    metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
+
+    merged: dict[tuple, list] = {}
+    for local in partials:
+        for key, state in local.items():
+            target = merged.get(key)
+            if target is None:
+                merged[key] = state
+                continue
+            for position, spec in enumerate(plan.aggregates):
+                if spec.op == "count_distinct":
+                    target[position] |= state[position]
+                else:
+                    target[position] += state[position]
+    if not plan.keys and not merged:
+        merged[()] = [
+            set() if spec.op == "count_distinct" else 0 for spec in plan.aggregates
+        ]
+
+    rows = []
+    for key in sorted(merged, key=_group_sort_key):
+        state = merged[key]
+        counts = tuple(
+            len(value) if isinstance(value, set) else value for value in state
+        )
+        rows.append(key + counts)
+    num_partitions = min(executor.config.default_partitions, max(1, len(rows)))
+    partitioner = (
+        HashPartitioner(columns=plan.keys, num_partitions=num_partitions)
+        if plan.keys
+        else None
+    )
+    partitions = (
+        repartition_by_key([rows], list(range(len(plan.keys))), partitioner)
+        if partitioner
+        else [rows]
+    )
+    width = len(plan.schema.names)
+    batches = [ColumnBatch.from_rows(width, part) for part in partitions]
+    return ColumnarData(plan.schema, batches, partitioner)
+
+
+def _union(executor, plan: Union, metrics: ExecutionMetrics, tracer) -> ColumnarData:
+    results = [executor._run(child, metrics, tracer) for child in plan.inputs]
+    metrics.record_stage(tasks=len(results), note="Union")
+    batches: list[ColumnBatch] = []
+    for result in results:
+        batches.extend(result.batches)
+    return ColumnarData(plan.schema, batches)

@@ -1,0 +1,28 @@
+"""Column-vector batch abstraction for the vectorized data plane.
+
+See :mod:`repro.vector.batch` for the format and the ``REPRO_VECTORIZE``
+ablation switch; the vectorized physical operators that consume these
+batches live in :mod:`repro.engine.vectorized`.
+"""
+
+from .batch import (
+    ColumnBatch,
+    batch_bytes,
+    estimate_batch_bytes,
+    pack_ints,
+    row_bytes_vector,
+    set_vectorize_enabled,
+    vectorize_enabled,
+    vectorized,
+)
+
+__all__ = [
+    "ColumnBatch",
+    "batch_bytes",
+    "estimate_batch_bytes",
+    "pack_ints",
+    "row_bytes_vector",
+    "set_vectorize_enabled",
+    "vectorize_enabled",
+    "vectorized",
+]

@@ -1,0 +1,1 @@
+"""Vectorized-execution tests: batches, selection vectors, mode parity."""

@@ -1,0 +1,93 @@
+"""REPRO_VECTORIZE differential: vectorized vs row execution, bit for bit.
+
+Two legs mirror the repo's tier-1 fuzz and chaos suites:
+
+- **fuzz** — the same 200 fixed-seed cases as ``tests/fuzz`` (20 seeds ×
+  10 queries) run on PRoST mixed under ``REPRO_VECTORIZE=1`` and ``=0``;
+  the two solution multisets must be byte-identical (serialized rows,
+  sorted).
+- **chaos** — the same 50 fault-plan cases as ``tests/chaos`` (25 case
+  seeds × 2 chaos seeds, 2 queries each); seeded fault plans must fire
+  identically on both paths because the injector reads only counters the
+  two paths charge identically.
+
+Beyond rows, each case also asserts the cost-model counters the fault
+injector and planner consume (bytes scanned, shuffle/broadcast bytes) are
+equal across modes — the strict-equivalence contract of
+``engine/vectorized.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import DifferentialRunner, chaos_plan_seed, serialize_query
+from repro.testing.differential import make_system, row_key
+from repro.vector import vectorized
+
+FUZZ_SEEDS = tuple(range(20))
+FUZZ_QUERIES_PER_GRAPH = 10
+CHAOS_SEEDS = (1729, 9042)
+CHAOS_CASE_SEEDS = tuple(range(25))
+CHAOS_QUERIES_PER_GRAPH = 2
+
+#: Cost counters both paths must charge identically (the fault injector
+#: snapshots a subset of these; planner thresholds read the byte totals).
+PARITY_COUNTERS = (
+    "bytes_scanned",
+    "rows_processed",
+    "narrow_rows_processed",
+    "shuffle_bytes",
+    "broadcast_bytes",
+)
+
+
+def _counter_totals(system) -> dict[str, int]:
+    metrics = system.session.cluster.session_metrics
+    return {name: getattr(metrics, name) for name in PARITY_COUNTERS}
+
+
+def _run_mode(enabled: bool, graph, queries, cluster_config=None):
+    """Row multisets + counter totals for one execution mode."""
+    with vectorized(enabled):
+        system = make_system("prost-mixed", cluster_config=cluster_config)
+        system.load(graph)
+        results = [
+            sorted(row_key(row) for row in system.sparql(query).rows)
+            for query in queries
+        ]
+        return results, _counter_totals(system)
+
+
+def _assert_modes_agree(seed, graph, queries, cluster_config=None):
+    vec_rows, vec_counters = _run_mode(True, graph, queries, cluster_config)
+    row_rows, row_counters = _run_mode(False, graph, queries, cluster_config)
+    for index, (vec, row) in enumerate(zip(vec_rows, row_rows)):
+        assert vec == row, (
+            f"seed {seed} query {index} diverges between REPRO_VECTORIZE "
+            f"modes:\n  {serialize_query(queries[index])}\n"
+            f"  vectorized: {len(vec)} rows\n  row path:   {len(row)} rows"
+        )
+    assert vec_counters == row_counters, (
+        f"seed {seed}: cost counters diverge between modes:\n"
+        f"  vectorized: {vec_counters}\n  row path:   {row_counters}"
+    )
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzz_corpus_mode_parity(seed):
+    runner = DifferentialRunner(queries_per_graph=FUZZ_QUERIES_PER_GRAPH)
+    graph, queries = runner.generate_case(seed)
+    _assert_modes_agree(seed, graph, queries)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+@pytest.mark.parametrize("seed", CHAOS_CASE_SEEDS)
+def test_chaos_mode_parity(seed, chaos_seed):
+    from repro.engine.cluster import ClusterConfig
+
+    runner = DifferentialRunner(queries_per_graph=CHAOS_QUERIES_PER_GRAPH)
+    graph, queries = runner.generate_case(seed)
+    config = ClusterConfig(fault_seed=chaos_plan_seed(chaos_seed, seed))
+    _assert_modes_agree(seed, graph, queries, cluster_config=config)
