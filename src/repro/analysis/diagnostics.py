@@ -2,7 +2,8 @@
 
 Every violated invariant becomes one :class:`Diagnostic` carrying a stable
 code (the ``PV1xx`` range covers Join-Tree invariants, ``PV2xx`` engine-plan
-invariants), a human-readable message, and a *node path* — the location of
+invariants, ``PV3xx`` advisory resource-governance forecasts that never fail
+the gate), a human-readable message, and a *node path* — the location of
 the offending node inside its tree, in the same shape the EXPLAIN renderers
 use — so a failing check points at the exact plan node, not just the query.
 """
@@ -28,7 +29,14 @@ CODES: dict[str, str] = {
     "PV203": "a table scan's declared partitioning disagrees with the catalog",
     "PV204": "a broadcast-hinted join's build side exceeds the size threshold",
     "PV205": "a shuffle hint discards existing co-partitioning on the join keys",
+    "PV301": "a broadcast join's build side exceeds the memory budget (will degrade to a shuffle join)",
+    "PV302": "a hash join's build side exceeds the memory budget (will spill to disk)",
 }
+
+#: Advisory codes: the plan is degraded-but-valid — the governor handles the
+#: condition at runtime (degradation ladder / spill), so these inform EXPLAIN
+#: and ``prost-repro check`` output but never fail the pre-execution gate.
+ADVISORY_CODES: frozenset[str] = frozenset({"PV301", "PV302"})
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ DATA_PLANE = (
     "engine",
     "core",
     "columnar",
+    "governor",
     "hdfs",
     "kvstore",
     "rdf",

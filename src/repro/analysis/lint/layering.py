@@ -22,7 +22,7 @@ from .base import LintViolation, SourceFile, imported_modules
 RULE = "layering"
 
 #: Subpackages forming the SPARQL-agnostic data plane.
-GENERIC_LAYERS = ("engine", "columnar", "hdfs", "vector")
+GENERIC_LAYERS = ("engine", "columnar", "governor", "hdfs", "vector")
 
 #: Subpackages the generic layers must never import, at any scope.
 FORBIDDEN_FOR_GENERIC = ("baselines", "sparql")

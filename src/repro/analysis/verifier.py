@@ -41,7 +41,7 @@ from ..engine.logical import (
 )
 from ..errors import PlanVerificationError
 from ..sparql.algebra import SelectQuery, Variable
-from .diagnostics import Diagnostic, render_diagnostics
+from .diagnostics import ADVISORY_CODES, Diagnostic, render_diagnostics
 
 if TYPE_CHECKING:
     from ..core.translator import JoinTreeTranslator
@@ -527,6 +527,9 @@ def _derive_join(
                 )
             )
 
+    if config is not None and plan.how != "cross":
+        out.extend(_check_budget(plan, left, right, path, label, config))
+
     if plan.how == "cross":
         rows = (
             left.est_rows * right.est_rows
@@ -641,6 +644,66 @@ def _check_broadcast(
     ]
 
 
+def _check_budget(
+    plan: Join,
+    left: _Derived,
+    right: _Derived,
+    path: str,
+    label: str,
+    config: "ClusterConfig",
+) -> list[Diagnostic]:
+    """Advisory degradation forecast under a memory budget (PV301, PV302).
+
+    Mirrors the runtime governor's decisions over *estimated* sizes: a
+    broadcast build side over the budget will be demoted to a shuffle join,
+    and a keyed hash build over the budget will run as a partitioned
+    grace-hash spill. Both are degraded-but-valid plans, so these codes are
+    advisory (:data:`~repro.analysis.diagnostics.ADVISORY_CODES`) — they
+    never fail the pre-execution gate.
+    """
+    budget = config.memory_budget_bytes
+    if budget is None:
+        return []
+    from ..obs.explain import ESTIMATED_CELL_BYTES
+
+    def estimated_bytes(side: _Derived, schema_width: int) -> int | None:
+        if side.est_rows is None:
+            return None
+        return side.est_rows * schema_width * ESTIMATED_CELL_BYTES
+
+    left_bytes = estimated_bytes(left, len(plan.left.schema.names))
+    right_bytes = estimated_bytes(right, len(plan.right.schema.names))
+    found: list[Diagnostic] = []
+    if plan.hint == "broadcast":
+        if plan.how != "inner" or left_bytes is None or right_bytes is None:
+            build_bytes = right_bytes  # only the build (right) side may ship
+        else:
+            build_bytes = min(left_bytes, right_bytes)
+        if build_bytes is not None and build_bytes > budget:
+            found.append(
+                Diagnostic(
+                    "PV301",
+                    f"broadcast build side estimated at {build_bytes} bytes "
+                    f"exceeds the {budget}-byte memory budget; the governor "
+                    "will degrade it to a shuffle join",
+                    path,
+                    label,
+                )
+            )
+    if right_bytes is not None and right_bytes > budget:
+        found.append(
+            Diagnostic(
+                "PV302",
+                f"hash-join build side estimated at {right_bytes} bytes "
+                f"exceeds the {budget}-byte memory budget; the governor will "
+                "run it as a partitioned grace-hash spill",
+                path,
+                label,
+            )
+        )
+    return found
+
+
 def _rename_partitioning(
     plan: Project, partitioning: tuple[str, ...] | None
 ) -> tuple[str, ...] | None:
@@ -686,9 +749,12 @@ def check_query(
         query, trees, optional_trees, translator=translator
     )
     diagnostics.extend(verify_logical_plan(plan, catalog=catalog, config=config))
-    if not diagnostics:
+    # Advisory (PV3xx) findings describe degraded-but-valid plans the
+    # governor handles at runtime; only genuine violations block execution.
+    blocking = [d for d in diagnostics if d.code not in ADVISORY_CODES]
+    if not blocking:
         return
     tree_text = "\n".join(tree.describe() for tree in list(trees) + list(optional_trees))
     raise PlanVerificationError(
-        render_diagnostics(diagnostics, tree_text), diagnostics=tuple(diagnostics)
+        render_diagnostics(blocking, tree_text), diagnostics=tuple(blocking)
     )

@@ -58,7 +58,9 @@ BENCH_MODES = {
 }
 
 
-def _run_mode(mode: str, dataset, queries, repeats: int, tracer=None) -> ModeResult:
+def _run_mode(
+    mode: str, dataset, queries, repeats: int, tracer=None, cluster_config=None
+) -> ModeResult:
     """Load and run the query mix with cells in the given representation.
 
     With a tracer, the load and the *first* sample of each query record
@@ -68,7 +70,7 @@ def _run_mode(mode: str, dataset, queries, repeats: int, tracer=None) -> ModeRes
     with term_ids(use_ids), vectorized(use_vectors):
         # A fresh ID space per mode keeps the two runs independent.
         default_dictionary().clear()
-        engine = ProstEngine()
+        engine = ProstEngine(cluster_config=cluster_config)
         mode_cm = (
             tracer.span("bench_mode", mode=mode)
             if tracer is not None
@@ -112,13 +114,24 @@ def run_quick_bench(
     repeats: int = 5,
     groups: tuple[str, ...] = JOIN_HEAVY_GROUPS,
     tracer=None,
+    cluster_config=None,
 ) -> dict:
-    """The ``prost-repro bench --quick`` payload (see module docstring)."""
+    """The ``prost-repro bench --quick`` payload (see module docstring).
+
+    ``cluster_config`` lets ``bench --quick --memory-budget N`` measure the
+    wall-clock price of governed (spilling/degrading) execution.
+    """
     dataset = generate_watdiv(scale=scale, seed=seed)
     queries = [q for q in basic_query_set(dataset) if q.group in groups]
-    strings = _run_mode("strings", dataset, queries, repeats, tracer=tracer)
-    ids = _run_mode("ids", dataset, queries, repeats, tracer=tracer)
-    vectors = _run_mode("vectors", dataset, queries, repeats, tracer=tracer)
+    strings = _run_mode(
+        "strings", dataset, queries, repeats, tracer=tracer, cluster_config=cluster_config
+    )
+    ids = _run_mode(
+        "ids", dataset, queries, repeats, tracer=tracer, cluster_config=cluster_config
+    )
+    vectors = _run_mode(
+        "vectors", dataset, queries, repeats, tracer=tracer, cluster_config=cluster_config
+    )
     speedup = strings.query_sec / ids.query_sec if ids.query_sec > 0 else float("inf")
     vector_speedup = (
         ids.query_sec / vectors.query_sec if vectors.query_sec > 0 else float("inf")

@@ -30,6 +30,7 @@ from .bench import (
     render_table2,
 )
 from .core.prost import ProstEngine
+from .errors import AdmissionRejectedError, QueryCancelledError, QueryTimeoutError
 from .rdf.graph import Graph
 from .rdf.ntriples import write_ntriples_file
 from .watdiv.generator import generate_watdiv
@@ -41,6 +42,43 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     count = write_ntriples_file(dataset.graph, args.out)
     print(f"wrote {count:,} triples to {args.out}")
     return 0
+
+
+def _governed_config(args: argparse.Namespace):
+    """A ClusterConfig carrying the governance flags, or None when unset.
+
+    ``None`` keeps the engine on its default configuration path (the
+    ``REPRO_MEM_BUDGET`` / ``REPRO_QUERY_TIMEOUT`` environment variables
+    still apply either way — explicit flags win over them).
+    """
+    if args.memory_budget is None and args.timeout is None:
+        return None
+    from .engine.cluster import ClusterConfig
+
+    return ClusterConfig(
+        num_workers=getattr(args, "workers", 9),
+        memory_budget_bytes=args.memory_budget,
+        query_timeout_sec=args.timeout,
+    )
+
+
+def _add_governance_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        metavar="BYTES",
+        default=None,
+        help="per-query memory budget; joins over it degrade "
+        "(broadcast→shuffle) or spill to disk instead of failing",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SEC",
+        default=None,
+        help="per-query deadline; exceeding it raises QueryTimeoutError "
+        "with the partial metrics preserved",
+    )
 
 
 def _read_query(args: argparse.Namespace) -> str | None:
@@ -60,7 +98,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
 
     graph = Graph.from_file(args.data)
-    engine = ProstEngine(num_workers=args.workers, strategy=args.strategy)
+    engine = ProstEngine(
+        num_workers=args.workers,
+        strategy=args.strategy,
+        cluster_config=_governed_config(args),
+    )
     load_report = engine.load(graph)
     print(f"# {load_report.summary()}", file=sys.stderr)
 
@@ -72,7 +114,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from .obs.tracer import Tracer
 
         tracer = Tracer()
-    result = engine.sparql(query, tracer=tracer)
+    try:
+        result = engine.sparql(query, tracer=tracer)
+    except (AdmissionRejectedError, QueryCancelledError, QueryTimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        partial = getattr(exc, "metrics", None)
+        if partial is not None:
+            print(
+                f"# partial work before cut-off: stages={partial.stages} "
+                f"rows={partial.rows_processed} scan={partial.bytes_scanned}B",
+                file=sys.stderr,
+            )
+        return 1
     print("\t".join(f"?{name}" for name in result.variables))
     for row in result:
         print("\t".join("" if term is None else term.n3() for term in row))
@@ -101,7 +154,17 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     graph = Graph.from_file(args.data)
     if args.system == "prost":
-        engine = ProstEngine(num_workers=args.workers, strategy=args.strategy)
+        engine = ProstEngine(
+            num_workers=args.workers,
+            strategy=args.strategy,
+            cluster_config=_governed_config(args),
+        )
+    elif args.memory_budget is not None or args.timeout is not None:
+        print(
+            "error: --memory-budget/--timeout require --system prost",
+            file=sys.stderr,
+        )
+        return 2
     else:
         from .baselines import Rya, S2Rdf, SparqlGx, SparqlGxDirect
 
@@ -285,7 +348,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
     payload = run_quick_bench(
-        scale=args.scale, seed=args.seed, repeats=args.repeats, tracer=tracer
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        tracer=tracer,
+        cluster_config=_governed_config(args),
     )
     write_bench_json(payload, args.out)
     print(render_quick_bench(payload))
@@ -335,6 +402,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         stop_on_first=args.stop_on_first,
         progress=progress,
         chaos_seed=chaos_seed,
+        memory_budget_bytes=args.memory_budget,
+        query_timeout_sec=args.timeout,
     )
     print(report.summary())
     for mismatch in report.mismatches:
@@ -380,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--trace-out", metavar="PATH", help="write the span trace of the run as JSON"
     )
+    _add_governance_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     explain = commands.add_parser(
@@ -411,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the span trace as JSON (requires --analyze, prost)",
     )
+    _add_governance_flags(explain)
     explain.set_defaults(handler=_cmd_explain)
 
     check = commands.add_parser(
@@ -515,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a span trace (loads + first sample per query) as JSON",
     )
+    _add_governance_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
 
     fuzz = commands.add_parser(
@@ -568,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the span traces of diverging counterexamples as JSON",
     )
+    _add_governance_flags(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 

@@ -19,6 +19,7 @@ from contextlib import nullcontext
 from ..engine.cluster import ClusterConfig, SimulatedCluster
 from ..engine.dataframe import DataFrame
 from ..engine.session import EngineSession
+from ..governor import Governor
 from ..engine.vectorized import ColumnarData, _concat
 from ..errors import LoaderError, UnsupportedSparqlError
 from ..rdf.dictionary import TERM_ID_BASE, default_dictionary, ids_enabled
@@ -64,6 +65,9 @@ class ProstEngine:
         if cluster_config is None:
             cluster_config = ClusterConfig(num_workers=num_workers)
         self.session = EngineSession(SimulatedCluster(cluster_config))
+        # Admission control: every sparql() entry takes a slot (and, when a
+        # budget is set, an aggregate-memory reservation) before executing.
+        self.governor = Governor.from_config(cluster_config)
         self.strategy = strategy
         self.statistics_level = statistics_level
         self.use_object_property_table = use_object_property_table
@@ -250,7 +254,7 @@ class ProstEngine:
             if tracer is not None
             else nullcontext()
         )
-        with query_cm as query_span:
+        with self.governor.admit(), query_cm as query_span:
             plan_cm = tracer.span("plan") if tracer is not None else nullcontext()
             with plan_cm:
                 # Pass the raw text when we have it so repeated queries hit

@@ -21,6 +21,7 @@ from .expressions import Expression, and_all, col, lit
 from .faults import (
     FaultInjector,
     FaultPlan,
+    MemoryPressure,
     StragglerSpec,
     TaskFault,
     WorkerLoss,
@@ -63,6 +64,7 @@ __all__ = [
     "Join",
     "Limit",
     "LogicalPlan",
+    "MemoryPressure",
     "PartitionedData",
     "Project",
     "QueryReport",

@@ -19,8 +19,69 @@ The defaults are calibrated to the paper's cluster:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from ..errors import ValidationError
+
+
+def _validate_config_field(name: str, rule: str, value) -> None:
+    """Apply one declarative validation rule to one config field."""
+    real = (int, float)
+    if rule == "positive_int":
+        if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+            raise ValidationError(f"{name} must be positive (an integer)")
+    elif rule == "positive":
+        if isinstance(value, bool) or not isinstance(value, real) or value <= 0:
+            raise ValidationError(f"{name} must be positive")
+    elif rule == "non_negative":
+        if isinstance(value, bool) or not isinstance(value, real) or value < 0:
+            raise ValidationError(f"{name} must be non-negative")
+    elif rule == "optional_positive_int":
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int) or value <= 0
+        ):
+            raise ValidationError(f"{name} must be positive (an integer) or None")
+    elif rule == "optional_positive":
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, real) or value <= 0
+        ):
+            raise ValidationError(f"{name} must be positive or None")
+    elif rule == "optional_int":
+        if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+            raise ValidationError(f"{name} must be an integer or None")
+    elif rule == "optional_str":
+        if value is not None and (not isinstance(value, str) or not value):
+            raise ValidationError(f"{name} must be a non-empty string or None")
+    elif rule == "min_attempts":
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise ValidationError(f"{name} must be at least 1")
+    elif rule == "speculation":
+        if isinstance(value, bool) or not isinstance(value, real) or value <= 1.0:
+            raise ValidationError(f"{name} must exceed 1.0")
+    else:  # pragma: no cover - guarded by the completeness check below
+        raise ValidationError(f"unknown validation rule {rule!r} for {name}")
+
+
+#: Declarative validation rules, one per :class:`ClusterConfig` field.
+#: ``__post_init__`` iterates the dataclass fields and *refuses* any field
+#: without a rule here, so a newly added knob can never silently skip
+#: validation (the failure mode of the old inline allowlist).
+_CONFIG_FIELD_RULES: dict[str, str] = {
+    "num_workers": "positive_int",
+    "partitions_per_worker": "positive_int",
+    "network_bytes_per_sec": "positive",
+    "scan_bytes_per_sec": "positive",
+    "rows_per_sec": "positive",
+    "task_overhead_sec": "non_negative",
+    "broadcast_threshold_bytes": "positive",
+    "data_scale": "positive",
+    "max_task_attempts": "min_attempts",
+    "speculation_multiplier": "speculation",
+    "fault_seed": "optional_int",
+    "memory_budget_bytes": "optional_positive_int",
+    "query_timeout_sec": "optional_positive",
+    "max_concurrent_queries": "positive_int",
+    "spill_dir": "optional_str",
+}
 
 
 @dataclass(frozen=True)
@@ -50,6 +111,19 @@ class ClusterConfig:
             (``spark.speculation.multiplier``, default 1.5).
         fault_seed: when set, every query runs under a seeded chaos
             :class:`~repro.engine.faults.FaultPlan` drawn from this seed.
+        memory_budget_bytes: per-query memory budget charged at every
+            memory-hungry operator site; tripping it triggers graceful
+            degradation (broadcast→shuffle, grace-hash spill) instead of
+            failure. ``None`` (with ``REPRO_MEM_BUDGET`` unset) disables
+            memory governance entirely.
+        query_timeout_sec: cooperative per-query deadline, polled at stage
+            boundaries and in the fault injector's retry loop. ``None``
+            (with ``REPRO_QUERY_TIMEOUT`` unset) disables deadlines.
+        max_concurrent_queries: admission-control slots; queries beyond
+            this queue (bounded) or are shed.
+        spill_dir: directory grace-hash spill files go under (the system
+            temp directory when ``None``); per-query subdirectories are
+            always removed when the query finishes, however it finishes.
     """
 
     num_workers: int = 9
@@ -63,27 +137,20 @@ class ClusterConfig:
     max_task_attempts: int = 4
     speculation_multiplier: float = 1.5
     fault_seed: int | None = None
+    memory_budget_bytes: int | None = None
+    query_timeout_sec: float | None = None
+    max_concurrent_queries: int = 8
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
-        if self.num_workers <= 0:
-            raise ValidationError("num_workers must be positive")
-        if self.partitions_per_worker <= 0:
-            raise ValidationError("partitions_per_worker must be positive")
-        for name in (
-            "network_bytes_per_sec",
-            "scan_bytes_per_sec",
-            "rows_per_sec",
-            "data_scale",
-            "broadcast_threshold_bytes",
-        ):
-            if getattr(self, name) <= 0:
-                raise ValidationError(f"{name} must be positive")
-        if self.task_overhead_sec < 0:
-            raise ValidationError("task_overhead_sec must be non-negative")
-        if self.max_task_attempts < 1:
-            raise ValidationError("max_task_attempts must be at least 1")
-        if self.speculation_multiplier <= 1.0:
-            raise ValidationError("speculation_multiplier must exceed 1.0")
+        for spec in fields(self):
+            rule = _CONFIG_FIELD_RULES.get(spec.name)
+            if rule is None:
+                raise ValidationError(
+                    f"no validation rule declared for ClusterConfig.{spec.name}; "
+                    "add one to _CONFIG_FIELD_RULES"
+                )
+            _validate_config_field(spec.name, rule, getattr(self, spec.name))
 
     @property
     def default_partitions(self) -> int:
@@ -140,13 +207,30 @@ class ExecutionMetrics:
     recovery_shuffle_bytes: int = 0
     fault_events: list[str] = field(default_factory=list)
     fault_injector: object | None = field(default=None, repr=False, compare=False)
+    # -- resource governance ---------------------------------------------------
+    spills: int = 0
+    spill_bytes: int = 0
+    spill_partitions: int = 0
+    degraded_joins: int = 0
+    budget_trips: int = 0
+    memory_pressure_events: int = 0
+    peak_memory_bytes: int = 0
+    governor: object | None = field(default=None, repr=False, compare=False)
 
     def record_stage(self, tasks: int, note: str = "") -> None:
-        """Register one stage (a wave of parallel tasks)."""
+        """Register one stage (a wave of parallel tasks).
+
+        Stage boundaries are also the governor's cooperative poll points:
+        an expired deadline or a requested cancellation raises here,
+        *before* fault injection, with this metrics object attached so
+        EXPLAIN ANALYZE can render the partial work.
+        """
         self.stages += 1
         self.tasks += tasks
         if note:
             self.operator_log.append(note)
+        if self.governor is not None:
+            self.governor.on_stage(self)
         if self.fault_injector is not None:
             self.fault_injector.on_stage(self, tasks, note)
 
@@ -189,6 +273,14 @@ class ExecutionMetrics:
         self.recovery_rows_processed += other.recovery_rows_processed
         self.recovery_shuffle_bytes += other.recovery_shuffle_bytes
         self.fault_events.extend(other.fault_events)
+        self.spills += other.spills
+        self.spill_bytes += other.spill_bytes
+        self.spill_partitions += other.spill_partitions
+        self.degraded_joins += other.degraded_joins
+        self.budget_trips += other.budget_trips
+        self.memory_pressure_events += other.memory_pressure_events
+        # High-water mark, not a total: the largest single charge seen.
+        self.peak_memory_bytes = max(self.peak_memory_bytes, other.peak_memory_bytes)
 
 
 @dataclass(frozen=True)
@@ -201,6 +293,7 @@ class CostBreakdown:
     broadcast_sec: float
     overhead_sec: float
     recovery_sec: float = 0.0
+    spill_sec: float = 0.0
 
     @property
     def total_sec(self) -> float:
@@ -212,6 +305,7 @@ class CostBreakdown:
             + self.broadcast_sec
             + self.overhead_sec
             + self.recovery_sec
+            + self.spill_sec
         )
 
 
@@ -257,6 +351,10 @@ def estimate_cost(metrics: ExecutionMetrics, config: ClusterConfig) -> CostBreak
         + metrics.straggler_extra_sec
         + metrics.retry_waves * config.task_overhead_sec
     )
+    # Grace-hash spills write every spilled byte to local disk and read it
+    # back once, charged at the storage scan rate (spills are local I/O,
+    # not network traffic).
+    spill_sec = scale * 2 * metrics.spill_bytes / (config.scan_bytes_per_sec * workers)
     return CostBreakdown(
         scan_sec=scan_sec,
         cpu_sec=cpu_sec,
@@ -264,6 +362,7 @@ def estimate_cost(metrics: ExecutionMetrics, config: ClusterConfig) -> CostBreak
         broadcast_sec=broadcast_sec,
         overhead_sec=overhead_sec,
         recovery_sec=recovery_sec,
+        spill_sec=spill_sec,
     )
 
 
@@ -294,12 +393,22 @@ class SimulatedCluster:
         self.session_metrics = ExecutionMetrics()
 
     def new_query_metrics(self) -> ExecutionMetrics:
-        """A fresh metrics object for one query execution."""
+        """A fresh metrics object for one query execution.
+
+        Attaches the fault injector (when a fault plan is in force) and
+        the governor context (when a memory budget or deadline is in
+        force — via config fields or the ``REPRO_MEM_BUDGET`` /
+        ``REPRO_QUERY_TIMEOUT`` environment fallbacks). With neither, the
+        metrics carry no extra state and execution pays no overhead.
+        """
         metrics = ExecutionMetrics()
         if self.fault_plan is not None and not self.fault_plan.is_empty:
             from .faults import FaultInjector
 
             metrics.fault_injector = FaultInjector(self.fault_plan, self.config)
+        from ..governor import governor_context_for
+
+        metrics.governor = governor_context_for(self.config)
         return metrics
 
     def finish_query(self, metrics: ExecutionMetrics) -> CostBreakdown:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from operator import itemgetter
 
 from ..errors import ExecutionError, PlanError
+from ..governor.spill import grace_hash_join_partition
 from .catalog import Catalog
 from .cluster import ClusterConfig, ExecutionMetrics
 from .expressions import ColumnRef
@@ -235,6 +236,8 @@ class PhysicalExecutor:
     ) -> PartitionedData:
         child = self._run(plan.child, metrics, tracer)
         index = child.schema.index_of(plan.column)
+        if metrics.governor is not None:
+            metrics.governor.charge_site(metrics, child.estimated_bytes())
         metrics.narrow_rows_processed += child.num_rows
         metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
         partitions: list[list[tuple]] = []
@@ -279,6 +282,22 @@ class PhysicalExecutor:
         left_bytes = left.estimated_bytes()
         right_bytes = right.estimated_bytes()
         strategy = self._choose_strategy(plan, left, right, left_bytes, right_bytes, keys)
+        # Degradation ladder: a broadcast build over the memory budget falls
+        # back to a shuffle join; a hash build over budget runs the
+        # grace-hash spill kernel. Both decisions read only contract-equal
+        # byte estimates, so the vectorized path makes the same calls.
+        governor = metrics.governor
+        spill_fanout = 0
+        if governor is not None:
+            if strategy == "broadcast":
+                build_bytes = (
+                    right_bytes
+                    if right_bytes <= left_bytes or plan.how != "inner"
+                    else left_bytes
+                )
+                if governor.should_degrade_broadcast(metrics, build_bytes, span):
+                    strategy = "shuffle"
+            spill_fanout = governor.plan_join_build(metrics, right_bytes, span)
         if span is not None:
             span.set("on", list(keys))
             span.set("how", plan.how)
@@ -339,11 +358,25 @@ class PhysicalExecutor:
 
         partitions = []
         for left_part, right_part in zip(left_parts, right_parts):
-            partitions.append(
-                _hash_join_partition(
-                    left_part, right_part, left_key_idx, right_key_idx, right_keep_idx, plan.how
+            if spill_fanout:
+                partitions.append(
+                    grace_hash_join_partition(
+                        left_part,
+                        right_part,
+                        left_key_idx,
+                        right_key_idx,
+                        right_keep_idx,
+                        plan.how,
+                        spill_fanout,
+                        governor.new_spill_store(metrics),
+                    )
                 )
-            )
+            else:
+                partitions.append(
+                    _hash_join_partition(
+                        left_part, right_part, left_key_idx, right_key_idx, right_keep_idx, plan.how
+                    )
+                )
         if plan.how in ("semi", "anti"):
             out_partitioner = left.partitioner
         else:
@@ -415,6 +448,8 @@ class PhysicalExecutor:
         self, plan: Distinct, metrics: ExecutionMetrics, tracer=None
     ) -> PartitionedData:
         child = self._run(plan.child, metrics, tracer)
+        if metrics.governor is not None:
+            metrics.governor.charge_site(metrics, child.estimated_bytes())
         all_columns = tuple(child.schema.names)
         if child.is_partitioned_on(all_columns):
             partitions = child.partitions
@@ -444,6 +479,8 @@ class PhysicalExecutor:
         self, plan: Sort, metrics: ExecutionMetrics, tracer=None
     ) -> PartitionedData:
         child = self._run(plan.child, metrics, tracer)
+        if metrics.governor is not None:
+            metrics.governor.charge_site(metrics, child.estimated_bytes())
         rows = child.all_rows()
         metrics.rows_processed += len(rows)
         metrics.shuffle_bytes += child.estimated_bytes()  # gather to driver
@@ -474,6 +511,8 @@ class PhysicalExecutor:
         reason COUNT-style queries are cheap even over big inputs.
         """
         child = self._run(plan.child, metrics, tracer)
+        if metrics.governor is not None:
+            metrics.governor.charge_site(metrics, child.estimated_bytes())
         key_idx = [child.schema.index_of(key) for key in plan.keys]
         input_idx = [
             child.schema.index_of(spec.input_column)

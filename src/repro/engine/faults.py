@@ -91,6 +91,21 @@ class StragglerSpec:
 
 
 @dataclass(frozen=True)
+class MemoryPressure:
+    """Executor memory pressure hits as ``stage`` completes.
+
+    The query's effective memory budget shrinks by ``fraction`` of its
+    configured size (another tenant's allocation landed on the executor),
+    which can push later joins over the degradation ladder mid-query. On
+    an unbudgeted query the pressure is a no-op — there is no budget to
+    shrink — so plans carrying it stay byte-identical for ungoverned runs.
+    """
+
+    stage: int
+    fraction: float = 0.5
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A deterministic schedule of injected faults.
 
@@ -105,6 +120,10 @@ class FaultPlan:
         fetch_failure_rate: per-task probability of a shuffle-fetch fault.
         straggler_rate: per-task probability of a slowdown.
         worker_loss_rate: per-stage probability that a worker dies.
+        memory_pressure_rate: per-stage probability that executor memory
+            pressure shrinks the query's effective memory budget (drawn
+            with a fresh salt, so enabling it leaves every other category's
+            draws byte-identical).
         max_failures: cap on consecutive injected failures per task. Keep it
             below ``ClusterConfig.max_task_attempts`` for recoverable plans;
             at or above it the query aborts.
@@ -116,11 +135,13 @@ class FaultPlan:
     fetch_failure_rate: float = 0.0
     straggler_rate: float = 0.0
     worker_loss_rate: float = 0.0
+    memory_pressure_rate: float = 0.0
     max_failures: int = 2
     slowdown_range: tuple[float, float] = (2.0, 8.0)
     task_faults: tuple[TaskFault, ...] = ()
     worker_losses: tuple[WorkerLoss, ...] = ()
     stragglers: tuple[StragglerSpec, ...] = ()
+    memory_pressures: tuple[MemoryPressure, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -128,6 +149,7 @@ class FaultPlan:
             "fetch_failure_rate",
             "straggler_rate",
             "worker_loss_rate",
+            "memory_pressure_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -153,13 +175,16 @@ class FaultPlan:
         fetch_failure_rate: float = 0.03,
         straggler_rate: float = 0.05,
         worker_loss_rate: float = 0.04,
+        memory_pressure_rate: float = 0.05,
         max_failures: int = 2,
     ) -> "FaultPlan":
         """A chaos plan: every fault category active at a moderate rate.
 
         The default ``max_failures`` stays below the default
         ``max_task_attempts`` (4), so rate-drawn plans are always
-        recoverable.
+        recoverable. Memory pressure only bites when the query carries a
+        memory budget; for unbudgeted queries the plan behaves exactly as
+        it did without the category.
         """
         return cls(
             seed=seed,
@@ -167,6 +192,7 @@ class FaultPlan:
             fetch_failure_rate=fetch_failure_rate,
             straggler_rate=straggler_rate,
             worker_loss_rate=worker_loss_rate,
+            memory_pressure_rate=memory_pressure_rate,
             max_failures=max_failures,
         )
 
@@ -180,9 +206,13 @@ class FaultPlan:
             or self.fetch_failure_rate > 0
             or self.straggler_rate > 0
             or self.worker_loss_rate > 0
+            or self.memory_pressure_rate > 0
         )
         return not has_rates and not (
-            self.task_faults or self.worker_losses or self.stragglers
+            self.task_faults
+            or self.worker_losses
+            or self.stragglers
+            or self.memory_pressures
         )
 
     def _rng(self, stage: int, task: int, salt: str) -> random.Random:
@@ -231,6 +261,22 @@ class FaultPlan:
         if rng.random() >= self.worker_loss_rate:
             return None
         return rng.randrange(num_workers)
+
+    def memory_pressure_at(self, stage: int) -> float | None:
+        """The budget shrink fraction hitting at this stage, if any.
+
+        Drawn with a fresh ``"mem-pressure"`` salt, so plans that predate
+        the category keep every other draw byte-identical.
+        """
+        for pressure in self.memory_pressures:
+            if pressure.stage == stage:
+                return pressure.fraction
+        if self.seed is None or self.memory_pressure_rate <= 0:
+            return None
+        rng = self._rng(stage, 0, "mem-pressure")
+        if rng.random() >= self.memory_pressure_rate:
+            return None
+        return rng.uniform(0.25, 0.75)
 
 
 @dataclass
@@ -296,6 +342,15 @@ class FaultInjector:
             metrics.fault_events.append(f"stage {stage}: worker {worker} lost")
             self._recompute_lineage(metrics, stage)
 
+        fraction = self.plan.memory_pressure_at(stage)
+        if fraction is not None and metrics.governor is not None:
+            effective = metrics.governor.apply_memory_pressure(metrics, fraction)
+            if effective is not None:
+                metrics.fault_events.append(
+                    f"stage {stage}: memory pressure, effective budget now "
+                    f"{effective} bytes"
+                )
+
         for task in range(tasks):
             fault = self.plan.task_fault(stage, task)
             if fault is not None and fault.failures > 0:
@@ -343,12 +398,18 @@ class FaultInjector:
         else:
             metrics.task_retries += fault.failures
             self._charge_recovery(metrics, work, fault.failures * per_task)
-        metrics.retry_backoff_sec += retry_backoff_sec(fault.failures)
+        backoff = retry_backoff_sec(fault.failures)
+        metrics.retry_backoff_sec += backoff
         metrics.retry_waves += fault.failures
         metrics.fault_events.append(
             f"stage {stage} task {task}: {fault.failures} "
             f"{fault.kind}-failure(s), retried"
         )
+        if metrics.governor is not None:
+            # Retry backoff is simulated wait the deadline must count: the
+            # governor charges it and polls, so a query drowning in retries
+            # times out deterministically inside the retry loop.
+            metrics.governor.on_retry_wait(metrics, backoff)
 
     def _apply_straggler(
         self,
@@ -459,6 +520,7 @@ class FaultInjector:
 __all__ = [
     "FaultInjector",
     "FaultPlan",
+    "MemoryPressure",
     "RETRY_BACKOFF_BASE_SEC",
     "RETRY_BACKOFF_CAP_SEC",
     "StragglerSpec",

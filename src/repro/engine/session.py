@@ -69,6 +69,12 @@ class QueryReport:
                 f"{m.worker_losses} worker losses, "
                 f"recovery={self.cost.recovery_sec * 1000:.1f}ms]"
             )
+        if m.budget_trips or m.spills or m.degraded_joins:
+            text += (
+                f" [governed: {m.budget_trips} budget trips, "
+                f"{m.spills} spilled joins ({m.spill_partitions} partitions, "
+                f"{m.spill_bytes}B), {m.degraded_joins} degraded joins]"
+            )
         return text
 
 
@@ -188,7 +194,14 @@ class EngineSession:
             spans_before = len(trace_container)
         metrics = self.cluster.new_query_metrics()
         started = time.perf_counter()
-        result = self._executor.execute(optimized, metrics, tracer)
+        try:
+            result = self._executor.execute(optimized, metrics, tracer)
+        finally:
+            # Spill files must never outlive the query, whether it finished,
+            # timed out, or died to an injected fault.
+            governor = metrics.governor
+            if governor is not None:
+                governor.cleanup()
         wall = time.perf_counter() - started
         cost = self.cluster.finish_query(metrics)
         trace_root = None

@@ -34,6 +34,7 @@ import zlib
 from itertools import chain, repeat
 
 from ..errors import ExecutionError, PlanError
+from ..governor.spill import grace_hash_join_partition
 from ..vector import ColumnBatch, batch_bytes
 from .cluster import ExecutionMetrics
 from .data import (
@@ -333,6 +334,8 @@ def _project(executor, plan: Project, metrics: ExecutionMetrics, tracer) -> Colu
 def _explode(executor, plan: Explode, metrics: ExecutionMetrics, tracer) -> ColumnarData:
     child = executor._run(plan.child, metrics, tracer)
     index = child.schema.index_of(plan.column)
+    if metrics.governor is not None:
+        metrics.governor.charge_site(metrics, child.estimated_bytes())
     metrics.narrow_rows_processed += child.num_rows
     metrics.record_stage(tasks=child.num_partitions, note=plan._describe_line())
     # An explode of an unselected batch is a pure function of (columns,
@@ -585,6 +588,38 @@ def _join(
     left_bytes = left.estimated_bytes()
     right_bytes = right.estimated_bytes()
     strategy = executor._choose_strategy(plan, left, right, left_bytes, right_bytes, keys)
+    # Same degradation ladder as the row path, driven by the same
+    # contract-equal byte estimates: broadcast→shuffle on an over-budget
+    # build, grace-hash spill on an over-budget hash build. The spill path
+    # runs the shared row-level kernel (batches → rows → batches), trading
+    # vector speed for byte-identical results and counters.
+    governor = metrics.governor
+    spill_fanout = 0
+    if governor is not None:
+        if strategy == "broadcast":
+            build_bytes = (
+                right_bytes
+                if right_bytes <= left_bytes or plan.how != "inner"
+                else left_bytes
+            )
+            if governor.should_degrade_broadcast(metrics, build_bytes, span):
+                strategy = "shuffle"
+        spill_fanout = governor.plan_join_build(metrics, right_bytes, span)
+    out_width = len(plan.schema.names)
+
+    def _spilled_pair(left_batch: ColumnBatch, right_batch: ColumnBatch) -> ColumnBatch:
+        rows = grace_hash_join_partition(
+            left_batch.rows(),
+            right_batch.rows(),
+            left_key_idx,
+            right_key_idx,
+            right_keep_idx,
+            plan.how,
+            spill_fanout,
+            governor.new_spill_store(metrics),
+        )
+        return ColumnBatch.from_rows(out_width, rows)
+
     if span is not None:
         span.set("on", list(keys))
         span.set("how", plan.how)
@@ -608,6 +643,9 @@ def _join(
         )
         partitioner = left.partitioner
         for left_batch, right_batch in zip(left.batches, right.batches):
+            if spill_fanout:
+                batches.append(_spilled_pair(left_batch, right_batch))
+                continue
             build = _build_index(right_batch, right_key_idx)
             batches.append(
                 _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
@@ -628,12 +666,16 @@ def _join(
             # index is built once and probed per left batch — the row path
             # rebuilds it per partition; the output rows are the same.
             right_batch = _concat(right)
-            build = _build_index(right_batch, right_key_idx)
             partitioner = left.partitioner
-            for left_batch in left.batches:
-                batches.append(
-                    _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
-                )
+            if spill_fanout:
+                for left_batch in left.batches:
+                    batches.append(_spilled_pair(left_batch, right_batch))
+            else:
+                build = _build_index(right_batch, right_key_idx)
+                for left_batch in left.batches:
+                    batches.append(
+                        _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
+                    )
         else:
             # Inner join only: the small left side replicates to every
             # right partition, so the build runs per right batch against
@@ -641,6 +683,9 @@ def _join(
             left_batch = _concat(left)
             partitioner = None
             for right_batch in right.batches:
+                if spill_fanout:
+                    batches.append(_spilled_pair(left_batch, right_batch))
+                    continue
                 build = _build_index(right_batch, right_key_idx)
                 batches.append(
                     _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
@@ -656,6 +701,9 @@ def _join(
         left_parts = _repartition(left, left_key_idx, partitioner)
         right_parts = _repartition(right, right_key_idx, partitioner)
         for left_batch, right_batch in zip(left_parts, right_parts):
+            if spill_fanout:
+                batches.append(_spilled_pair(left_batch, right_batch))
+                continue
             build = _build_index(right_batch, right_key_idx)
             batches.append(
                 _probe_batch(left_batch, right_batch, build, left_key_idx, right_keep_idx, plan.how)
@@ -703,6 +751,8 @@ def _cross_join(
 
 def _distinct(executor, plan: Distinct, metrics: ExecutionMetrics, tracer) -> ColumnarData:
     child = executor._run(plan.child, metrics, tracer)
+    if metrics.governor is not None:
+        metrics.governor.charge_site(metrics, child.estimated_bytes())
     all_columns = tuple(child.schema.names)
     if child.is_partitioned_on(all_columns):
         batches = child.batches
@@ -732,6 +782,8 @@ def _distinct(executor, plan: Distinct, metrics: ExecutionMetrics, tracer) -> Co
 
 def _sort(executor, plan: Sort, metrics: ExecutionMetrics, tracer) -> ColumnarData:
     child = executor._run(plan.child, metrics, tracer)
+    if metrics.governor is not None:
+        metrics.governor.charge_site(metrics, child.estimated_bytes())
     combined = _concat(child)
     metrics.rows_processed += combined.length
     metrics.shuffle_bytes += child.estimated_bytes()  # gather to driver
@@ -776,6 +828,8 @@ def _aggregate(executor, plan: Aggregate, metrics: ExecutionMetrics, tracer) -> 
     """Map-side partial aggregation reading columns directly; the merged
     (small) output reuses the row-path partitioning for identical layout."""
     child = executor._run(plan.child, metrics, tracer)
+    if metrics.governor is not None:
+        metrics.governor.charge_site(metrics, child.estimated_bytes())
     key_idx = [child.schema.index_of(key) for key in plan.keys]
     input_idx = [
         child.schema.index_of(spec.input_column)

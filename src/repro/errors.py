@@ -121,6 +121,46 @@ class BlockUnavailableError(ExecutionError, StorageError):
     """
 
 
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    Raised at a stage boundary (or inside the fault injector's retry loop)
+    once the governor's :class:`~repro.governor.Deadline` expires. The
+    partially filled metrics object is preserved so EXPLAIN ANALYZE can
+    still render the work done before the cut-off.
+
+    Attributes:
+        metrics: the partial ``ExecutionMetrics`` at the moment of timeout.
+    """
+
+    def __init__(self, message: str, metrics: object | None = None):
+        super().__init__(message)
+        self.metrics = metrics
+
+
+class QueryCancelledError(ExecutionError):
+    """A query was cancelled cooperatively (caller-requested, not a timeout).
+
+    Like :class:`QueryTimeoutError`, carries the partial metrics snapshot.
+
+    Attributes:
+        metrics: the partial ``ExecutionMetrics`` at the cancellation point.
+    """
+
+    def __init__(self, message: str, metrics: object | None = None):
+        super().__init__(message)
+        self.metrics = metrics
+
+
+class AdmissionRejectedError(ExecutionError):
+    """The admission controller shed a query instead of running it.
+
+    Raised by :class:`~repro.governor.Governor` when the concurrent-query
+    limit is reached and the bounded wait queue is full (or the queue wait
+    timed out) — the load-shedding path of graceful degradation.
+    """
+
+
 class CatalogError(ReproError):
     """Raised for catalog misuse: missing or duplicate table registrations."""
 

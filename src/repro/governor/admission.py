@@ -1,0 +1,151 @@
+"""Admission control: concurrent-query gating with bounded queueing.
+
+The front-door half of the governor. A :class:`Governor` owns two limits:
+
+- **slots**: at most ``max_concurrent_queries`` queries run at once;
+- **aggregate memory**: when a per-query budget is configured, admitted
+  queries reserve it, and total reservations may not exceed
+  ``budget × slots`` — an engine-wide memory ceiling.
+
+A query that cannot be admitted immediately waits in a *bounded* queue;
+when the queue is full (or the wait times out) it is shed with
+:class:`~repro.errors.AdmissionRejectedError` instead of piling up —
+load-shedding rather than collapse, the same posture PHD-Store argues for
+under live overload.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..errors import AdmissionRejectedError, ValidationError
+
+#: Default bound on queries waiting for a slot before load-shedding.
+DEFAULT_MAX_QUEUE_DEPTH = 16
+
+#: Default seconds a queued query waits for a slot before being shed.
+DEFAULT_QUEUE_TIMEOUT_SEC = 30.0
+
+
+class Governor:
+    """Engine-level admission controller (thread-safe).
+
+    Attributes:
+        max_concurrent_queries: slot count.
+        memory_budget_bytes: per-query reservation (``None`` disables the
+            aggregate-memory limit).
+        max_queue_depth: waiting queries beyond this are shed immediately.
+        queue_timeout_sec: max seconds a query waits for a slot.
+        admitted / rejected / peak_concurrent: lifetime stats.
+    """
+
+    def __init__(
+        self,
+        max_concurrent_queries: int = 8,
+        memory_budget_bytes: int | None = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        queue_timeout_sec: float = DEFAULT_QUEUE_TIMEOUT_SEC,
+    ):
+        if max_concurrent_queries < 1:
+            raise ValidationError("max_concurrent_queries must be at least 1")
+        if max_queue_depth < 0:
+            raise ValidationError("max_queue_depth must be non-negative")
+        if queue_timeout_sec <= 0:
+            raise ValidationError("queue_timeout_sec must be positive")
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValidationError("memory budget must be positive")
+        self.max_concurrent_queries = max_concurrent_queries
+        self.memory_budget_bytes = memory_budget_bytes
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout_sec = queue_timeout_sec
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_concurrent = 0
+        self._condition = threading.Condition()
+        self._active = 0
+        self._active_bytes = 0
+        self._waiting = 0
+
+    @classmethod
+    def from_config(cls, config) -> "Governor":
+        """Build from a ``ClusterConfig`` (slots + per-query budget)."""
+        return cls(
+            max_concurrent_queries=config.max_concurrent_queries,
+            memory_budget_bytes=config.memory_budget_bytes,
+        )
+
+    @property
+    def active_queries(self) -> int:
+        """Queries currently holding a slot."""
+        with self._condition:
+            return self._active
+
+    @property
+    def aggregate_memory_limit(self) -> int | None:
+        """Engine-wide reservation ceiling (``budget × slots``), if any."""
+        if self.memory_budget_bytes is None:
+            return None
+        return self.memory_budget_bytes * self.max_concurrent_queries
+
+    def _admissible(self, reserve_bytes: int) -> bool:
+        if self._active >= self.max_concurrent_queries:
+            return False
+        limit = self.aggregate_memory_limit
+        return limit is None or self._active_bytes + reserve_bytes <= limit
+
+    @contextmanager
+    def admit(self, reserve_bytes: int | None = None):
+        """Hold one query slot (and its memory reservation) for the body.
+
+        Raises :class:`~repro.errors.AdmissionRejectedError` when the wait
+        queue is full or the slot wait times out.
+        """
+        reserve = (
+            reserve_bytes
+            if reserve_bytes is not None
+            else (self.memory_budget_bytes or 0)
+        )
+        with self._condition:
+            if not self._admissible(reserve):
+                if self._waiting >= self.max_queue_depth:
+                    self.rejected += 1
+                    raise AdmissionRejectedError(
+                        f"admission queue full ({self._waiting} waiting, "
+                        f"{self._active} active of "
+                        f"{self.max_concurrent_queries} slots); query shed"
+                    )
+                self._waiting += 1
+                try:
+                    granted = self._condition.wait_for(
+                        lambda: self._admissible(reserve),
+                        timeout=self.queue_timeout_sec,
+                    )
+                finally:
+                    self._waiting -= 1
+                if not granted:
+                    self.rejected += 1
+                    raise AdmissionRejectedError(
+                        f"no query slot within {self.queue_timeout_sec:g}s "
+                        f"({self._active} active of "
+                        f"{self.max_concurrent_queries} slots); query shed"
+                    )
+            self._active += 1
+            self._active_bytes += reserve
+            self.admitted += 1
+            if self._active > self.peak_concurrent:
+                self.peak_concurrent = self._active
+        try:
+            yield self
+        finally:
+            with self._condition:
+                self._active -= 1
+                self._active_bytes -= reserve
+                self._condition.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"Governor(slots={self.max_concurrent_queries}, "
+            f"active={self.active_queries}, admitted={self.admitted}, "
+            f"rejected={self.rejected})"
+        )

@@ -1,0 +1,73 @@
+"""Per-query deadlines with cooperative cancellation.
+
+A :class:`Deadline` tracks two clocks at once:
+
+- **wall time** via an injectable monotonic clock (``time.monotonic`` by
+  default — never ``time.time``, which the determinism lint bans from the
+  data plane), so a runaway query is cut off in real seconds;
+- **simulated waits** charged explicitly: the fault injector's retry
+  backoff and straggler drag are simulated seconds that never elapse on
+  the wall clock, yet a production deadline would count them. Charging
+  them into the deadline makes timeout behaviour *deterministic* under a
+  seeded fault plan — the property every governor test relies on.
+
+The deadline never interrupts anything itself: the executors poll it at
+stage boundaries and the fault injector polls it inside the retry loop
+(cooperative cancellation, like Spark's task-kill flag).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import ValidationError
+
+
+class Deadline:
+    """A fixed per-query time budget, polled cooperatively.
+
+    Attributes:
+        timeout_sec: the budget, in seconds.
+        charged_sec: simulated seconds (retry backoff, straggler drag)
+            counted against the budget in addition to wall time.
+    """
+
+    __slots__ = ("timeout_sec", "charged_sec", "_clock", "_started")
+
+    def __init__(
+        self,
+        timeout_sec: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if timeout_sec <= 0:
+            raise ValidationError("query timeout must be positive")
+        self.timeout_sec = float(timeout_sec)
+        self.charged_sec = 0.0
+        self._clock = clock
+        self._started = clock()
+
+    def charge(self, seconds: float) -> None:
+        """Count simulated seconds (e.g. retry backoff) against the budget."""
+        self.charged_sec += seconds
+
+    @property
+    def elapsed_sec(self) -> float:
+        """Wall seconds since creation plus charged simulated seconds."""
+        return (self._clock() - self._started) + self.charged_sec
+
+    @property
+    def remaining_sec(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.timeout_sec - self.elapsed_sec
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.elapsed_sec > self.timeout_sec
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(timeout={self.timeout_sec}s, "
+            f"elapsed={self.elapsed_sec:.3f}s)"
+        )

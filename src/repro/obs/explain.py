@@ -248,6 +248,10 @@ def _render_span(span: Span, lines: list[str], indent: int) -> None:
     line = f"{pad}{head}"
     if "strategy" in span.attrs:
         line += f" [{span.attrs['strategy']}]"
+    if "degraded" in span.attrs:
+        line += f" [{span.attrs['degraded']}]"
+    if "spill_partitions" in span.attrs:
+        line += f" [spill: {span.attrs['spill_partitions']} partitions]"
     if "rows_out" in span.attrs:
         line += f"  rows={span.attrs['rows_out']}"
     deltas = []

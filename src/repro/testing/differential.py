@@ -91,13 +91,17 @@ def make_system(name: str, cluster_config: ClusterConfig | None = None):
 
 @dataclass
 class FaultStats:
-    """Recovery counters aggregated across a chaos run's engine sessions."""
+    """Recovery and governance counters aggregated across a run's sessions."""
 
     task_retries: int = 0
     fetch_retries: int = 0
     speculative_tasks: int = 0
     recomputed_tasks: int = 0
     worker_losses: int = 0
+    spills: int = 0
+    degraded_joins: int = 0
+    budget_trips: int = 0
+    memory_pressure_events: int = 0
 
     @property
     def any(self) -> bool:
@@ -107,6 +111,16 @@ class FaultStats:
             or self.speculative_tasks
             or self.recomputed_tasks
             or self.worker_losses
+        )
+
+    @property
+    def any_governed(self) -> bool:
+        """Whether the governor intervened anywhere in the run."""
+        return bool(
+            self.spills
+            or self.degraded_joins
+            or self.budget_trips
+            or self.memory_pressure_events
         )
 
     def add_system(self, system) -> None:
@@ -120,6 +134,10 @@ class FaultStats:
         self.speculative_tasks += metrics.speculative_tasks
         self.recomputed_tasks += metrics.recomputed_tasks
         self.worker_losses += metrics.worker_losses
+        self.spills += metrics.spills
+        self.degraded_joins += metrics.degraded_joins
+        self.budget_trips += metrics.budget_trips
+        self.memory_pressure_events += metrics.memory_pressure_events
 
     def merge(self, other: "FaultStats") -> None:
         self.task_retries += other.task_retries
@@ -127,13 +145,24 @@ class FaultStats:
         self.speculative_tasks += other.speculative_tasks
         self.recomputed_tasks += other.recomputed_tasks
         self.worker_losses += other.worker_losses
+        self.spills += other.spills
+        self.degraded_joins += other.degraded_joins
+        self.budget_trips += other.budget_trips
+        self.memory_pressure_events += other.memory_pressure_events
 
     def summary(self) -> str:
-        return (
+        text = (
             f"task_retries={self.task_retries} fetch_retries={self.fetch_retries} "
             f"speculative={self.speculative_tasks} recomputed={self.recomputed_tasks} "
             f"worker_losses={self.worker_losses}"
         )
+        if self.any_governed:
+            text += (
+                f" spills={self.spills} degraded_joins={self.degraded_joins} "
+                f"budget_trips={self.budget_trips} "
+                f"memory_pressure={self.memory_pressure_events}"
+            )
+        return text
 
 
 def row_key(row: tuple[Term | None, ...]) -> tuple[str | None, ...]:
@@ -239,17 +268,34 @@ class DifferentialRunner:
         queries_per_graph: int = 10,
         shrink: bool = True,
         chaos_seed: int | None = None,
+        memory_budget_bytes: int | None = None,
+        query_timeout_sec: float | None = None,
     ):
         self.systems = systems
         self.query_config = query_config or QueryGenConfig()
         self.queries_per_graph = queries_per_graph
         self.shrink = shrink
         self.chaos_seed = chaos_seed
+        self.memory_budget_bytes = memory_budget_bytes
+        self.query_timeout_sec = query_timeout_sec
 
     def _cluster_config(self, seed: int) -> ClusterConfig | None:
-        if self.chaos_seed is None:
+        governed = (
+            self.memory_budget_bytes is not None
+            or self.query_timeout_sec is not None
+        )
+        if self.chaos_seed is None and not governed:
             return None
-        return ClusterConfig(fault_seed=chaos_plan_seed(self.chaos_seed, seed))
+        fault_seed = (
+            chaos_plan_seed(self.chaos_seed, seed)
+            if self.chaos_seed is not None
+            else None
+        )
+        return ClusterConfig(
+            fault_seed=fault_seed,
+            memory_budget_bytes=self.memory_budget_bytes,
+            query_timeout_sec=self.query_timeout_sec,
+        )
 
     # -- seeded case generation ----------------------------------------------
 
@@ -561,6 +607,8 @@ def run_fuzz(
     stop_on_first: bool = False,
     progress=None,
     chaos_seed: int | None = None,
+    memory_budget_bytes: int | None = None,
+    query_timeout_sec: float | None = None,
 ) -> FuzzReport:
     """Fuzz ``iterations`` consecutive seeds starting at ``base_seed``.
 
@@ -570,12 +618,19 @@ def run_fuzz(
         chaos_seed: run every cluster-backed system under a seeded random
             fault plan per iteration (``None`` disables chaos mode). The
             report's ``fault_stats`` then carries the recovery counters.
+        memory_budget_bytes: per-query memory budget for every
+            cluster-backed system — spilled and degraded executions must
+            still match the (ungoverned) oracle.
+        query_timeout_sec: per-query deadline for every cluster-backed
+            system.
     """
     runner = DifferentialRunner(
         systems=systems,
         queries_per_graph=queries_per_graph,
         shrink=shrink,
         chaos_seed=chaos_seed,
+        memory_budget_bytes=memory_budget_bytes,
+        query_timeout_sec=query_timeout_sec,
     )
     seeds: list[int] = []
     mismatches: list[DifferentialMismatch] = []
@@ -592,9 +647,10 @@ def run_fuzz(
             progress(seed, len(mismatches))
         if mismatches and stop_on_first:
             break
+    governed = memory_budget_bytes is not None or query_timeout_sec is not None
     return FuzzReport(
         seeds=seeds,
         cases=cases,
         mismatches=mismatches,
-        fault_stats=stats if chaos_seed is not None else None,
+        fault_stats=stats if (chaos_seed is not None or governed) else None,
     )

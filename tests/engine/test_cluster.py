@@ -46,6 +46,37 @@ class TestClusterConfig:
         config = ClusterConfig(max_task_attempts=1, speculation_multiplier=1.01)
         assert config.max_task_attempts == 1
 
+    @pytest.mark.parametrize("name", ["memory_budget_bytes", "query_timeout_sec"])
+    def test_governance_knobs_validated(self, name):
+        with pytest.raises(ValueError, match=name):
+            ClusterConfig(**{name: 0})
+        with pytest.raises(ValueError, match=name):
+            ClusterConfig(**{name: -1})
+        assert getattr(ClusterConfig(**{name: 1}), name) == 1
+        assert getattr(ClusterConfig(), name) is None  # optional: off by default
+
+    def test_max_concurrent_queries_validated(self):
+        with pytest.raises(ValueError, match="max_concurrent_queries"):
+            ClusterConfig(max_concurrent_queries=0)
+        with pytest.raises(ValueError, match="max_concurrent_queries"):
+            ClusterConfig(max_concurrent_queries=True)  # bools are not counts
+
+    def test_spill_dir_validated(self):
+        with pytest.raises(ValueError, match="spill_dir"):
+            ClusterConfig(spill_dir="")
+        with pytest.raises(ValueError, match="spill_dir"):
+            ClusterConfig(spill_dir=7)
+        assert ClusterConfig(spill_dir="/tmp/spills").spill_dir == "/tmp/spills"
+
+    def test_every_field_has_a_validation_rule(self, monkeypatch):
+        # The allowlist regression: a field added without a declared rule
+        # must be refused loudly, not silently skipped.
+        from repro.engine import cluster as cluster_module
+
+        monkeypatch.delitem(cluster_module._CONFIG_FIELD_RULES, "data_scale")
+        with pytest.raises(ValueError, match="no validation rule"):
+            ClusterConfig()
+
 
 class TestMetrics:
     def test_record_stage(self):

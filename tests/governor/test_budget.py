@@ -1,0 +1,90 @@
+"""MemoryBudget: charging, pressure shrinks, and spill-fanout sizing."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.governor import MAX_SPILL_FANOUT, MIN_SPILL_FANOUT, MemoryBudget
+
+
+class TestValidation:
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryBudget(0)
+        with pytest.raises(ValidationError):
+            MemoryBudget(-10)
+
+
+class TestCharging:
+    def test_charge_under_budget_does_not_trip(self):
+        budget = MemoryBudget(100)
+        assert budget.charge(100) is False
+        assert budget.charge(1) is False
+
+    def test_charge_over_budget_trips(self):
+        budget = MemoryBudget(100)
+        assert budget.charge(101) is True
+
+    def test_charges_are_per_site_not_cumulative(self):
+        # Operator working sets are transient, so sites are charged
+        # independently: two 60-byte builds under a 100-byte budget both fit.
+        budget = MemoryBudget(100)
+        assert budget.charge(60) is False
+        assert budget.charge(60) is False
+
+    def test_peak_is_the_largest_single_charge(self):
+        budget = MemoryBudget(100)
+        budget.charge(10)
+        budget.charge(70)
+        budget.charge(30)
+        assert budget.peak_bytes == 70
+
+    def test_would_trip_leaves_peak_untouched(self):
+        budget = MemoryBudget(100)
+        assert budget.would_trip(500) is True
+        assert budget.would_trip(50) is False
+        assert budget.peak_bytes == 0
+
+
+class TestPressure:
+    def test_shrink_reduces_effective_budget(self):
+        budget = MemoryBudget(1000)
+        assert budget.shrink(0.5) == 500
+        assert budget.effective_bytes == 500
+        assert budget.limit_bytes == 1000  # configured limit unchanged
+
+    def test_shrink_fraction_is_of_the_configured_limit(self):
+        budget = MemoryBudget(1000)
+        budget.shrink(0.25)
+        budget.shrink(0.25)
+        assert budget.effective_bytes == 500
+
+    def test_shrink_floors_at_one_byte(self):
+        budget = MemoryBudget(100)
+        budget.shrink(1.0)
+        budget.shrink(1.0)
+        assert budget.effective_bytes == 1
+
+    def test_shrink_changes_trip_decisions(self):
+        budget = MemoryBudget(1000)
+        assert budget.would_trip(600) is False
+        budget.shrink(0.5)
+        assert budget.would_trip(600) is True
+
+
+class TestSpillFanout:
+    def test_minimum_fanout(self):
+        budget = MemoryBudget(1000)
+        assert budget.spill_fanout(1001) == MIN_SPILL_FANOUT
+
+    def test_fanout_is_a_power_of_two_covering_the_overflow(self):
+        budget = MemoryBudget(100)
+        assert budget.spill_fanout(350) == 4  # ceil(350/100)=4
+        assert budget.spill_fanout(500) == 8  # ceil=5 → next power of two
+
+    def test_fanout_clamped_at_max(self):
+        budget = MemoryBudget(1)
+        assert budget.spill_fanout(10**9) == MAX_SPILL_FANOUT
+
+    def test_fanout_is_deterministic(self):
+        budget = MemoryBudget(64)
+        assert budget.spill_fanout(1000) == budget.spill_fanout(1000)

@@ -1,0 +1,97 @@
+"""Deadline semantics under a fake clock, and the context's stage polling."""
+
+import pytest
+
+from repro.engine import ExecutionMetrics
+from repro.errors import (
+    ExecutionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ValidationError,
+)
+from repro.governor import Deadline, GovernorContext
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValidationError):
+            Deadline(0)
+        with pytest.raises(ValidationError):
+            Deadline(-1.0)
+
+    def test_wall_clock_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock)
+        assert not deadline.expired
+        clock.advance(9.0)
+        assert deadline.remaining_sec == pytest.approx(1.0)
+        clock.advance(1.5)
+        assert deadline.expired
+
+    def test_charged_simulated_seconds_count_against_the_budget(self):
+        # Retry backoff never elapses on the wall clock, yet the deadline
+        # must count it — that is what makes timeouts deterministic under a
+        # seeded fault plan.
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock)
+        deadline.charge(6.0)
+        clock.advance(3.0)
+        assert deadline.elapsed_sec == pytest.approx(9.0)
+        assert not deadline.expired
+        deadline.charge(1.5)
+        assert deadline.expired
+
+
+class TestGovernorContextPolling:
+    def test_on_stage_is_a_no_op_before_expiry(self):
+        clock = FakeClock()
+        context = GovernorContext(timeout_sec=5.0, clock=clock)
+        context.on_stage(ExecutionMetrics())  # must not raise
+
+    def test_timeout_raises_with_partial_metrics_attached(self):
+        clock = FakeClock()
+        context = GovernorContext(timeout_sec=5.0, clock=clock)
+        metrics = ExecutionMetrics(rows_processed=42, stages=3)
+        clock.advance(6.0)
+        with pytest.raises(QueryTimeoutError) as info:
+            context.on_stage(metrics)
+        assert info.value.metrics is metrics
+        assert isinstance(info.value, ExecutionError)
+        assert "5" in str(info.value)
+
+    def test_cancel_wins_over_timeout(self):
+        clock = FakeClock()
+        context = GovernorContext(timeout_sec=5.0, clock=clock)
+        clock.advance(10.0)
+        context.cancel("user hit ctrl-c")
+        metrics = ExecutionMetrics()
+        with pytest.raises(QueryCancelledError) as info:
+            context.on_stage(metrics)
+        assert "user hit ctrl-c" in str(info.value)
+        assert info.value.metrics is metrics
+
+    def test_on_retry_wait_charges_simulated_backoff(self):
+        clock = FakeClock()
+        context = GovernorContext(timeout_sec=5.0, clock=clock)
+        metrics = ExecutionMetrics()
+        context.on_retry_wait(metrics, 3.0)  # fine: 3s of 5s
+        with pytest.raises(QueryTimeoutError):
+            context.on_retry_wait(metrics, 3.0)  # 6s of 5s
+        assert context.deadline.charged_sec == pytest.approx(6.0)
+
+    def test_untimed_context_never_expires(self):
+        context = GovernorContext(budget_bytes=100)
+        assert context.deadline is None
+        context.on_stage(ExecutionMetrics())
+        context.on_retry_wait(ExecutionMetrics(), 1e9)

@@ -1,0 +1,69 @@
+"""Governed mode parity: the budget walks both paths down the same ladder.
+
+The strict-equivalence contract of ``engine/vectorized.py`` extends to
+governance: because both paths charge the budget with the same
+``estimate_row_bytes`` contract, a given budget must produce identical
+rows AND identical governor counters (spills, spill bytes/partitions,
+degraded joins) under ``REPRO_VECTORIZE=1`` and ``=0``.
+"""
+
+import pytest
+
+from repro.engine.cluster import ClusterConfig
+from repro.testing import DifferentialRunner
+from repro.testing.differential import make_system, row_key
+from repro.vector import vectorized
+
+SEEDS = tuple(range(10))
+QUERIES_PER_GRAPH = 5
+
+GOVERNOR_COUNTERS = (
+    "budget_trips",
+    "spills",
+    "spill_partitions",
+    "spill_bytes",
+    "degraded_joins",
+    "peak_memory_bytes",
+)
+
+
+def _run_mode(enabled, graph, queries, budget):
+    with vectorized(enabled):
+        config = ClusterConfig(memory_budget_bytes=budget)
+        system = make_system("prost-mixed", cluster_config=config)
+        system.load(graph)
+        results = [
+            sorted(row_key(row) for row in system.sparql(query).rows)
+            for query in queries
+        ]
+        metrics = system.session.cluster.session_metrics
+        counters = {name: getattr(metrics, name) for name in GOVERNOR_COUNTERS}
+        return results, counters
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_budgeted_execution_is_mode_invariant(seed):
+    runner = DifferentialRunner(queries_per_graph=QUERIES_PER_GRAPH)
+    graph, queries = runner.generate_case(seed)
+    budget = 512  # small enough that fuzz-scale joins trip it
+    vec_rows, vec_counters = _run_mode(True, graph, queries, budget)
+    row_rows, row_counters = _run_mode(False, graph, queries, budget)
+    assert vec_rows == row_rows, f"seed {seed}: governed rows diverge"
+    assert vec_counters == row_counters, (
+        f"seed {seed}: governor counters diverge:\n"
+        f"  vectorized: {vec_counters}\n  row path:   {row_counters}"
+    )
+
+
+def test_the_parity_corpus_actually_exercises_the_governor():
+    """Guard against the budget being too generous to ever trip."""
+    total_spills = 0
+    total_degraded = 0
+    for seed in SEEDS:
+        runner = DifferentialRunner(queries_per_graph=QUERIES_PER_GRAPH)
+        graph, queries = runner.generate_case(seed)
+        _, counters = _run_mode(True, graph, queries, 512)
+        total_spills += counters["spills"]
+        total_degraded += counters["degraded_joins"]
+    assert total_spills > 0
+    assert total_degraded > 0

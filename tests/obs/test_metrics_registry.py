@@ -33,6 +33,7 @@ class TestCompleteness:
             assert (
                 f"engine.{spec_field.name}" in REGISTRY
                 or f"faults.{spec_field.name}" in REGISTRY
+                or f"governor.{spec_field.name}" in REGISTRY
             ), f"ExecutionMetrics.{spec_field.name} has no registered counter"
 
     def test_every_cost_breakdown_field_is_registered(self):
@@ -43,7 +44,9 @@ class TestCompleteness:
         assert "hdfs.failover_reads" in REGISTRY
 
     def test_registry_layers(self):
-        assert set(REGISTRY.layers()) == {"cost", "engine", "faults", "hdfs"}
+        assert set(REGISTRY.layers()) == {
+            "cost", "engine", "faults", "governor", "hdfs",
+        }
 
     def test_specs_are_documented(self):
         for spec in REGISTRY:
@@ -58,10 +61,11 @@ class TestSnapshots:
             assert name in REGISTRY, f"snapshot emits unregistered {name}"
 
     def test_execution_snapshot_reflects_counter_values(self):
-        metrics = ExecutionMetrics(bytes_scanned=10, task_retries=2)
+        metrics = ExecutionMetrics(bytes_scanned=10, task_retries=2, spills=3)
         snapshot = snapshot_execution_metrics(metrics)
         assert snapshot["engine.bytes_scanned"] == 10
         assert snapshot["faults.task_retries"] == 2
+        assert snapshot["governor.spills"] == 3
 
     def test_cost_snapshot_keys_resolve_in_registry(self):
         cost = CostBreakdown(
