@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 
 from .diagnostics import Diagnostic, render_diagnostics
+from .lineage import verify_cached_plan
 from .verifier import (
     check_query,
     verify_join_tree,
@@ -36,6 +37,7 @@ __all__ = [
     "plan_check_enabled",
     "render_diagnostics",
     "set_plan_check_enabled",
+    "verify_cached_plan",
     "verify_join_tree",
     "verify_logical_plan",
     "verify_query",

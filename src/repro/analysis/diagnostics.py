@@ -3,7 +3,8 @@
 Every violated invariant becomes one :class:`Diagnostic` carrying a stable
 code (the ``PV1xx`` range covers Join-Tree invariants, ``PV2xx`` engine-plan
 invariants, ``PV3xx`` advisory resource-governance forecasts that never fail
-the gate), a human-readable message, and a *node path* — the location of
+the gate, ``PV4xx`` cached-plan lineage — see :mod:`repro.analysis.lineage`),
+a human-readable message, and a *node path* — the location of
 the offending node inside its tree, in the same shape the EXPLAIN renderers
 use — so a failing check points at the exact plan node, not just the query.
 """
@@ -31,6 +32,7 @@ CODES: dict[str, str] = {
     "PV205": "a shuffle hint discards existing co-partitioning on the join keys",
     "PV301": "a broadcast join's build side exceeds the memory budget (will degrade to a shuffle join)",
     "PV302": "a hash join's build side exceeds the memory budget (will spill to disk)",
+    "PV401": "a cached plan's lineage epoch does not match the engine's current plan epoch",
 }
 
 #: Advisory codes: the plan is degraded-but-valid — the governor handles the

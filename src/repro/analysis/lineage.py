@@ -1,0 +1,56 @@
+"""Cached-plan lineage verification (the ``PV4xx`` range).
+
+The serve layer's plan cache stores verified, ready-to-execute frames keyed
+on the engine's :attr:`~repro.core.prost.ProstEngine.plan_epoch` — the
+fingerprint of everything a plan's validity depends on (dataset version,
+partitioning strategy, statistics mode, planner-relevant cluster knobs).
+Keying alone already prevents stale hits; :func:`verify_cached_plan` is the
+defense-in-depth twin run *again* immediately before a cached plan
+executes, so a bookkeeping bug in the cache (or a caller bypassing it)
+surfaces as an auditable diagnostic instead of silently executing a plan
+built against a dataset that no longer exists.
+
+A ``PV401`` finding is advisory to the caller in one specific sense: the
+correct reaction is *evict and replan*, never crash — the server does
+exactly that and counts the eviction.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+
+
+def verify_cached_plan(
+    cached_epoch: tuple, current_epoch: tuple, node_path: str = "plan"
+) -> list[Diagnostic]:
+    """Diagnostics for executing a plan cached under ``cached_epoch`` now.
+
+    Returns an empty list when the epochs match (the cached plan's lineage
+    is current), or a single ``PV401`` diagnostic naming both epochs when
+    they differ. The message spells out which fingerprint components moved,
+    so a surprising eviction is attributable (dataset reload vs. a
+    re-provisioned engine with different partitioning knobs).
+    """
+    if cached_epoch == current_epoch:
+        return []
+    drifted = [
+        f"component {index}: {cached!r} -> {current!r}"
+        for index, (cached, current) in enumerate(zip(cached_epoch, current_epoch))
+        if cached != current
+    ]
+    if len(cached_epoch) != len(current_epoch):
+        drifted.append(
+            f"epoch arity changed ({len(cached_epoch)} -> {len(current_epoch)})"
+        )
+    return [
+        Diagnostic(
+            code="PV401",
+            message=(
+                "cached plan lineage is stale: "
+                + "; ".join(drifted)
+                + " (evict and replan)"
+            ),
+            node_path=node_path,
+            node_label="cached plan",
+        )
+    ]

@@ -24,7 +24,7 @@ RULE = "metrics"
 REGISTRY_MODULE = "obs/metrics.py"
 
 #: What a dotted counter name looks like.
-COUNTER_PATTERN = re.compile(r"^(engine|faults|governor|hdfs|cost)\.[a-z_]+$")
+COUNTER_PATTERN = re.compile(r"^(engine|faults|governor|serve|hdfs|cost)\.[a-z_]+$")
 
 
 def registered_counter_names() -> frozenset[str]:

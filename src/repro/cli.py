@@ -13,6 +13,9 @@ Installed as ``prost-repro``::
     prost-repro queries --scale 300 --name C3
     prost-repro fuzz --seed 0 --iterations 50
     prost-repro bench --quick
+    prost-repro config --markdown
+    prost-repro serve --data watdiv.nt
+    prost-repro replay --scale 400
 """
 
 from __future__ import annotations
@@ -302,6 +305,116 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    from .obs import configdoc
+
+    if args.markdown:
+        # write(), not print(): the output redirected to docs/CONFIGURATION.md
+        # must be byte-identical to the generator rendering.
+        sys.stdout.write(configdoc.markdown())
+        return 0
+    print(configdoc.render_text())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """An interactive serving session: one engine, caches, tenant admission.
+
+    Reads one query per line from stdin (SPARQL is line-oriented enough for
+    a console session); dot-commands inspect the server:
+
+    - ``.stats`` — serve counters and cache hit rates
+    - ``.tenants`` — per-tenant admission accounting
+    - ``.explain <query>`` — plans (annotated ``[cached plan]`` on a hit)
+    - ``.tenant <name>`` — switch the tenant label for subsequent queries
+    - ``.quit`` — exit
+    """
+    from .serve import QueryServer
+
+    graph = Graph.from_file(args.data)
+    engine = ProstEngine(
+        num_workers=args.workers,
+        strategy=args.strategy,
+        cluster_config=_governed_config(args),
+    )
+    server = QueryServer(
+        engine,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+        max_queries_per_tenant=args.max_per_tenant,
+    )
+    load_report = server.load(graph)
+    print(f"# {load_report.summary()}", file=sys.stderr)
+    print(
+        f"# serving (plan cache {server._plan_cache.capacity}, "
+        f"result cache {server._result_cache.capacity}); "
+        ".quit to exit, .stats / .tenants / .explain <query> to inspect",
+        file=sys.stderr,
+    )
+    tenant = args.tenant
+    stream = open(args.script, encoding="utf-8") if args.script else sys.stdin
+    try:
+        for line in stream:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            if text == ".quit":
+                break
+            if text == ".stats":
+                for name, value in server.metrics_snapshot().items():
+                    print(f"  {name:32} {value}")
+                continue
+            if text == ".tenants":
+                for name, counts in server.tenant_snapshot().items():
+                    print(f"  {name:16} {counts}")
+                continue
+            if text.startswith(".tenant "):
+                tenant = text[len(".tenant "):].strip()
+                print(f"# tenant = {tenant}", file=sys.stderr)
+                continue
+            if text.startswith(".explain "):
+                try:
+                    print(server.explain(text[len(".explain "):]))
+                except Exception as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                continue
+            try:
+                result = server.sparql(text, tenant=tenant)
+            except (
+                AdmissionRejectedError,
+                QueryCancelledError,
+                QueryTimeoutError,
+            ) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                continue
+            except Exception as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                continue
+            print("\t".join(f"?{name}" for name in result.variables))
+            for row in result:
+                print("\t".join("" if term is None else term.n3() for term in row))
+            print(f"# {len(result)} rows, {result.report.summary()}", file=sys.stderr)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .serve import render_replay, run_replay, write_replay_json
+
+    payload = run_replay(
+        scale=args.scale,
+        seed=args.seed,
+        clients=args.clients,
+        requests_per_client=args.requests,
+    )
+    write_replay_json(payload, args.out)
+    print(render_replay(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_queries(args: argparse.Namespace) -> int:
     dataset = generate_watdiv(scale=args.scale, seed=args.seed)
     for query in basic_query_set(dataset):
@@ -545,6 +658,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="emit docs/METRICS.md content"
     )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    config = commands.add_parser(
+        "config",
+        help="print the configuration contract (every knob and env var)",
+        description="List every ClusterConfig field (default, validation "
+        "rule, env fallback, CLI flag) and every REPRO_* environment "
+        "variable, read live from the code. --markdown emits the exact "
+        "content of docs/CONFIGURATION.md (a test keeps the file in sync "
+        "with this output).",
+    )
+    config.add_argument(
+        "--markdown", action="store_true", help="emit docs/CONFIGURATION.md content"
+    )
+    config.set_defaults(handler=_cmd_config)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve queries interactively through the multi-tenant session layer",
+        description="Load a dataset once and answer queries from stdin "
+        "through repro.serve.QueryServer: tenant-labelled admission via the "
+        "governor, an LRU plan cache keyed on normalized query shape, and a "
+        "result cache invalidated on reload. One query per line; "
+        ".stats/.tenants/.explain <query>/.tenant <name>/.quit are console "
+        "commands. REPRO_SERVE_PLAN_CACHE / REPRO_SERVE_RESULT_CACHE set "
+        "the default cache capacities.",
+    )
+    serve.add_argument("--data", required=True, help="N-Triples input file")
+    serve.add_argument("--strategy", choices=("mixed", "vp"), default="mixed")
+    serve.add_argument("--workers", type=int, default=9)
+    serve.add_argument(
+        "--plan-cache", type=int, default=None, metavar="N",
+        help="plan-cache capacity (0 disables; default: env or 64)",
+    )
+    serve.add_argument(
+        "--result-cache", type=int, default=None, metavar="N",
+        help="result-cache capacity (0 disables; default: env or 256)",
+    )
+    serve.add_argument(
+        "--max-per-tenant", type=int, default=None, metavar="N",
+        help="admission cap per tenant label (default: unlimited)",
+    )
+    serve.add_argument("--tenant", default=None, help="initial tenant label")
+    serve.add_argument(
+        "--script", metavar="PATH",
+        help="read the session from this file instead of stdin",
+    )
+    _add_governance_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    replay = commands.add_parser(
+        "replay",
+        help="closed-loop workload replay through the serving layer",
+        description="Benchmark the serving stack: N closed-loop clients "
+        "replay the WatDiv query mix against a QueryServer in three phases "
+        "(cold pipeline, warm plan cache, warm plan+result caches), "
+        "reporting p50/p95/p99 latency, throughput, and cache hit rates to "
+        "BENCH_serve.json.",
+    )
+    replay.add_argument("--scale", type=int, default=400)
+    replay.add_argument("--seed", type=int, default=7)
+    replay.add_argument("--clients", type=int, default=4, help="closed-loop clients")
+    replay.add_argument(
+        "--requests", type=int, default=25, help="requests per client per phase"
+    )
+    replay.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
+    replay.set_defaults(handler=_cmd_replay)
 
     queries = commands.add_parser("queries", help="print the WatDiv basic query set")
     queries.add_argument("--scale", type=int, default=300)

@@ -75,6 +75,10 @@ class ProstEngine:
         self.store: ProstStore | None = None
         self._translator: JoinTreeTranslator | None = None
         self.last_query_report_: QueryExecutionReport | None = None
+        #: Monotonic load counter: every successful :meth:`load` bumps it,
+        #: so anything keyed on :attr:`plan_epoch` (the serve layer's plan
+        #: and result caches) is invalidated by a dataset reload.
+        self.dataset_version = 0
         # Prepared-statement caches: query text → parsed AST, and query
         # text → (frame, tree description). Parsing and translation are
         # pure functions of the text and the loaded store, so repeated
@@ -85,7 +89,15 @@ class ProstEngine:
     # -- loading -----------------------------------------------------------------
 
     def load(self, graph: Graph, tracer=None) -> LoadReport:
-        """Load a graph: build VP tables, the PT, and the statistics."""
+        """Load a graph: build VP tables, the PT, and the statistics.
+
+        Reloading replaces the dataset wholesale: the catalog and the
+        simulated HDFS namespace are re-provisioned fresh (table names and
+        persisted paths would otherwise collide), while the governor — and
+        its admission/tenant accounting — survives across reloads.
+        """
+        if self.store is not None:
+            self.session = EngineSession(SimulatedCluster(self.session.config))
         self.store = load_prost_store(
             graph,
             session=self.session,
@@ -101,8 +113,34 @@ class ProstEngine:
             use_statistics=self.use_statistics,
         )
         self._plan_cache.clear()
+        self.dataset_version += 1
         assert self.store.load_report is not None
         return self.store.load_report
+
+    @property
+    def plan_epoch(self) -> tuple:
+        """Fingerprint of everything a cached plan's validity depends on.
+
+        A verified Join Tree (and the engine plan built from it) is a pure
+        function of the loaded dataset, the partitioning strategy, and the
+        planner-relevant cluster knobs. The serve layer keys its plan and
+        result caches on this tuple: a dataset reload or a re-provisioned
+        engine with different partitioning knobs changes the epoch, so
+        stale plans can never hit (checked again by the PV401 lineage
+        guard before a cached plan executes).
+        """
+        config = self.session.config
+        return (
+            self.dataset_version,
+            self.strategy,
+            self.statistics_level,
+            self.use_object_property_table,
+            self.use_statistics,
+            config.num_workers,
+            config.partitions_per_worker,
+            config.broadcast_threshold_bytes,
+            config.data_scale,
+        )
 
     def _require_store(self) -> ProstStore:
         if self.store is None or self._translator is None:
@@ -246,22 +284,67 @@ class ProstEngine:
             if parsed is None:
                 parsed = parse_sparql(query)
                 self._parse_cache[query] = parsed
+            text = query
         else:
             parsed = query
+            text = None
+        return self._execute(parsed, text=text, tracer=tracer)
+
+    def execute_prepared(
+        self,
+        parsed: SelectQuery,
+        frame: DataFrame,
+        tree_description: str,
+        tracer=None,
+        admitted: bool = False,
+    ) -> ResultSet:
+        """Execute an already-planned query, skipping translate → optimize →
+        plan-verify entirely.
+
+        This is the serve layer's plan-cache hit path: ``frame`` and
+        ``tree_description`` must be the output of an earlier
+        :meth:`dataframe` call for ``parsed`` against the *current* store
+        (the server guards that with the engine's :attr:`plan_epoch` and
+        the PV401 lineage check). With ``admitted=True`` the engine skips
+        its own admission gate — the caller already holds a (tenant-
+        labelled) slot on :attr:`governor`, and taking a second slot for
+        the same query could deadlock a fully loaded server.
+        """
+        return self._execute(
+            parsed,
+            prepared=(frame, tree_description),
+            tracer=tracer,
+            admitted=admitted,
+        )
+
+    def _execute(
+        self,
+        parsed: SelectQuery,
+        text: str | None = None,
+        prepared: tuple[DataFrame, str] | None = None,
+        tracer=None,
+        admitted: bool = False,
+    ) -> ResultSet:
+        """Shared execution path behind :meth:`sparql` and
+        :meth:`execute_prepared` (plan or reuse, execute, finalize)."""
         started = time.perf_counter()
         query_cm = (
             tracer.span("query", engine=self.name)
             if tracer is not None
             else nullcontext()
         )
-        with self.governor.admit(), query_cm as query_span:
+        admit_cm = nullcontext() if admitted else self.governor.admit()
+        with admit_cm, query_cm as query_span:
             plan_cm = tracer.span("plan") if tracer is not None else nullcontext()
             with plan_cm:
-                # Pass the raw text when we have it so repeated queries hit
-                # the prepared-statement cache.
-                frame, tree_description = self.dataframe(
-                    query if isinstance(query, str) else parsed
-                )
+                if prepared is not None:
+                    frame, tree_description = prepared
+                else:
+                    # Pass the raw text when we have it so repeated queries
+                    # hit the prepared-statement cache.
+                    frame, tree_description = self.dataframe(
+                        text if text is not None else parsed
+                    )
             data, engine_report = frame.collect_data_with_report(tracer=tracer)
             final_cm = (
                 tracer.span("finalize") if tracer is not None else nullcontext()

@@ -217,6 +217,19 @@ def _table_columnar(table) -> ColumnarData:
     return base
 
 
+def warm_table(table) -> bool:
+    """Build a catalog table's columnar transposition ahead of scans.
+
+    The serve layer's batch executor calls this once per *distinct* table
+    a batch touches, so concurrent queries scanning the same PT/VP table
+    share one transposition instead of racing to build it. Returns whether
+    the transpose was actually built (``False`` = already warm).
+    """
+    already_warm = table.columnar_cache.get(None) is not None
+    _table_columnar(table)
+    return not already_warm
+
+
 def _scan(executor, plan: TableScan, metrics: ExecutionMetrics) -> ColumnarData:
     table = executor.catalog.get(plan.table_name)
     columns = plan.columns

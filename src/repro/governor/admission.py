@@ -37,6 +37,8 @@ class Governor:
             aggregate-memory limit).
         max_queue_depth: waiting queries beyond this are shed immediately.
         queue_timeout_sec: max seconds a query waits for a slot.
+        max_queries_per_tenant: per-tenant slot cap applied to admissions
+            carrying a tenant label (``None`` disables fairness capping).
         admitted / rejected / peak_concurrent: lifetime stats.
     """
 
@@ -46,6 +48,7 @@ class Governor:
         memory_budget_bytes: int | None = None,
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         queue_timeout_sec: float = DEFAULT_QUEUE_TIMEOUT_SEC,
+        max_queries_per_tenant: int | None = None,
     ):
         if max_concurrent_queries < 1:
             raise ValidationError("max_concurrent_queries must be at least 1")
@@ -55,10 +58,13 @@ class Governor:
             raise ValidationError("queue_timeout_sec must be positive")
         if memory_budget_bytes is not None and memory_budget_bytes <= 0:
             raise ValidationError("memory budget must be positive")
+        if max_queries_per_tenant is not None and max_queries_per_tenant < 1:
+            raise ValidationError("max_queries_per_tenant must be at least 1")
         self.max_concurrent_queries = max_concurrent_queries
         self.memory_budget_bytes = memory_budget_bytes
         self.max_queue_depth = max_queue_depth
         self.queue_timeout_sec = queue_timeout_sec
+        self.max_queries_per_tenant = max_queries_per_tenant
         self.admitted = 0
         self.rejected = 0
         self.peak_concurrent = 0
@@ -66,6 +72,10 @@ class Governor:
         self._active = 0
         self._active_bytes = 0
         self._waiting = 0
+        self._tenant_active: dict[str, int] = {}
+        self._tenant_admitted: dict[str, int] = {}
+        self._tenant_rejected: dict[str, int] = {}
+        self._tenant_reserved_bytes: dict[str, int] = {}
 
     @classmethod
     def from_config(cls, config) -> "Governor":
@@ -88,15 +98,31 @@ class Governor:
             return None
         return self.memory_budget_bytes * self.max_concurrent_queries
 
-    def _admissible(self, reserve_bytes: int) -> bool:
+    def _admissible(self, reserve_bytes: int, tenant: str | None = None) -> bool:
         if self._active >= self.max_concurrent_queries:
+            return False
+        if (
+            tenant is not None
+            and self.max_queries_per_tenant is not None
+            and self._tenant_active.get(tenant, 0) >= self.max_queries_per_tenant
+        ):
             return False
         limit = self.aggregate_memory_limit
         return limit is None or self._active_bytes + reserve_bytes <= limit
 
+    def _record_rejection(self, tenant: str | None) -> None:
+        self.rejected += 1
+        if tenant is not None:
+            self._tenant_rejected[tenant] = self._tenant_rejected.get(tenant, 0) + 1
+
     @contextmanager
-    def admit(self, reserve_bytes: int | None = None):
+    def admit(self, reserve_bytes: int | None = None, tenant: str | None = None):
         """Hold one query slot (and its memory reservation) for the body.
+
+        With a ``tenant`` label the slot is charged to that tenant's
+        account: the per-tenant cap (when configured) applies, and the
+        tenant's admitted/rejected/reserved-bytes totals — the serve
+        layer's per-tenant cost attribution — are updated.
 
         Raises :class:`~repro.errors.AdmissionRejectedError` when the wait
         queue is full or the slot wait times out.
@@ -107,9 +133,9 @@ class Governor:
             else (self.memory_budget_bytes or 0)
         )
         with self._condition:
-            if not self._admissible(reserve):
+            if not self._admissible(reserve, tenant):
                 if self._waiting >= self.max_queue_depth:
-                    self.rejected += 1
+                    self._record_rejection(tenant)
                     raise AdmissionRejectedError(
                         f"admission queue full ({self._waiting} waiting, "
                         f"{self._active} active of "
@@ -118,13 +144,13 @@ class Governor:
                 self._waiting += 1
                 try:
                     granted = self._condition.wait_for(
-                        lambda: self._admissible(reserve),
+                        lambda: self._admissible(reserve, tenant),
                         timeout=self.queue_timeout_sec,
                     )
                 finally:
                     self._waiting -= 1
                 if not granted:
-                    self.rejected += 1
+                    self._record_rejection(tenant)
                     raise AdmissionRejectedError(
                         f"no query slot within {self.queue_timeout_sec:g}s "
                         f"({self._active} active of "
@@ -133,6 +159,14 @@ class Governor:
             self._active += 1
             self._active_bytes += reserve
             self.admitted += 1
+            if tenant is not None:
+                self._tenant_active[tenant] = self._tenant_active.get(tenant, 0) + 1
+                self._tenant_admitted[tenant] = (
+                    self._tenant_admitted.get(tenant, 0) + 1
+                )
+                self._tenant_reserved_bytes[tenant] = (
+                    self._tenant_reserved_bytes.get(tenant, 0) + reserve
+                )
             if self._active > self.peak_concurrent:
                 self.peak_concurrent = self._active
         try:
@@ -141,7 +175,30 @@ class Governor:
             with self._condition:
                 self._active -= 1
                 self._active_bytes -= reserve
+                if tenant is not None:
+                    self._tenant_active[tenant] -= 1
                 self._condition.notify_all()
+
+    def tenant_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-tenant accounting: active, admitted, rejected, reserved bytes.
+
+        Tenants appear once they have been admitted or rejected at least
+        once; ``reserved_bytes`` is the lifetime total of memory
+        reservations the tenant's admitted queries carried.
+        """
+        with self._condition:
+            names = sorted(
+                set(self._tenant_admitted) | set(self._tenant_rejected)
+            )
+            return {
+                name: {
+                    "active": self._tenant_active.get(name, 0),
+                    "admitted": self._tenant_admitted.get(name, 0),
+                    "rejected": self._tenant_rejected.get(name, 0),
+                    "reserved_bytes": self._tenant_reserved_bytes.get(name, 0),
+                }
+                for name in names
+            }
 
     def __repr__(self) -> str:
         return (

@@ -8,11 +8,14 @@ Three pieces, all zero-dependency:
   executor so every traced query yields a span tree aligned with its
   physical plan;
 - :mod:`~repro.obs.metrics` — the :class:`MetricsRegistry` naming and
-  documenting every counter the engine, fault-injection, and HDFS layers
-  emit (``docs/METRICS.md`` is generated from it);
+  documenting every counter the engine, fault-injection, serving, and HDFS
+  layers emit (``docs/METRICS.md`` is generated from it);
 - :mod:`~repro.obs.explain` — the ASCII Join-Tree renderer behind
   ``EXPLAIN`` / ``EXPLAIN ANALYZE`` (estimated vs actual rows, chosen join
   strategies, shuffle/broadcast bytes, recovery charges).
+
+:mod:`~repro.obs.configdoc` is the sibling contract for configuration:
+``docs/CONFIGURATION.md`` is generated from it the same way.
 """
 
 from .explain import (
@@ -31,6 +34,7 @@ from .metrics import (
     snapshot_cost,
     snapshot_execution_metrics,
     snapshot_hdfs,
+    snapshot_server_stats,
 )
 from .tracer import Span, Tracer
 
@@ -50,4 +54,5 @@ __all__ = [
     "snapshot_cost",
     "snapshot_execution_metrics",
     "snapshot_hdfs",
+    "snapshot_server_stats",
 ]

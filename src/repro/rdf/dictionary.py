@@ -35,6 +35,7 @@ Design points:
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 from .ntriples import parse_term
@@ -79,6 +80,7 @@ class TermDictionary:
         "_term_by_id",
         "_sort_key_by_id",
         "_len_by_id",
+        "_intern_lock",
     )
 
     def __init__(self) -> None:
@@ -87,6 +89,13 @@ class TermDictionary:
         self._term_by_id: list[Term | None] = []
         self._sort_key_by_id: list[tuple | None] = []
         self._len_by_id: list[int] = []
+        # Interning is check-then-append on shared maps; two threads racing
+        # on a *new* term could otherwise assign it two different IDs, and
+        # an ID-vs-ID equality join would then silently miss rows. The
+        # serve layer executes concurrent queries, so the slow path (first
+        # sighting of a term) takes this lock; the hot path (already
+        # interned) stays a plain lock-free dict hit.
+        self._intern_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._text_by_id)
@@ -96,12 +105,19 @@ class TermDictionary:
         found = self._id_by_text.get(text)
         if found is not None:
             return found
-        term_id = TERM_ID_BASE + len(self._text_by_id)
-        self._id_by_text[text] = term_id
-        self._text_by_id.append(text)
-        self._term_by_id.append(None)
-        self._sort_key_by_id.append(None)
-        self._len_by_id.append(len(text))
+        with self._intern_lock:
+            found = self._id_by_text.get(text)  # re-check under the lock
+            if found is not None:
+                return found
+            term_id = TERM_ID_BASE + len(self._text_by_id)
+            self._text_by_id.append(text)
+            self._term_by_id.append(None)
+            self._sort_key_by_id.append(None)
+            self._len_by_id.append(len(text))
+            # Publish the ID last: a concurrent lock-free reader either
+            # misses (and serializes behind the lock) or sees an ID whose
+            # side tables are already in place.
+            self._id_by_text[text] = term_id
         return term_id
 
     def intern_term(self, term: Term) -> TermId:

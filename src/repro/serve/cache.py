@@ -1,0 +1,97 @@
+"""A small thread-safe LRU cache for the serve layer.
+
+One implementation backs both server caches: the **plan cache** (canonical
+plan shape → verified, ready-to-execute frame) and the **result cache**
+(full canonical query → decoded rows). Both key on values that embed the
+engine's :attr:`~repro.core.prost.ProstEngine.plan_epoch`, so a dataset
+reload changes every key and stale entries can never hit — they simply age
+out of the LRU order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from ..errors import ValidationError
+
+V = TypeVar("V")
+
+#: Sentinel distinguishing "miss" from a cached ``None`` value.
+_MISS = object()
+
+
+class LruCache(Generic[V]):
+    """Least-recently-used mapping with hit/miss/eviction accounting.
+
+    Thread-safe: the serve layer calls into it from concurrent client
+    threads. A ``capacity`` of ``0`` disables the cache entirely — every
+    :meth:`get` misses and :meth:`put` is a no-op — which is how the
+    replay benchmark measures its cold phase.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValidationError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> V | None:
+        """The cached value, bumped to most-recently-used; ``None`` on miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value  # type: ignore[return-value]
+
+    def peek(self, key: Hashable) -> V | None:
+        """The cached value without touching LRU order or hit/miss counts
+        (EXPLAIN uses this so inspecting a plan never perturbs the cache)."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            return None if value is _MISS else value  # type: ignore[return-value]
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = value
+
+    def evict(self, key: Hashable) -> bool:
+        """Drop one entry by key; returns whether it was present."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.evictions += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss/eviction counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, ``0.0`` before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

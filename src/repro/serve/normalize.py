@@ -1,0 +1,151 @@
+"""Query-shape normalization: the serve layer's cache keys.
+
+Planning (translate → optimize → plan-verify) depends on a query's
+*structure* — which positions are variables, which hold constants, how the
+patterns connect — but never on what the variables are called: the engine
+labels plan columns with the variable names, and result finalization
+addresses those columns purely by projection *position*. Two queries that
+differ only by an injective variable renaming therefore produce the same
+join tree, the same verified engine plan, and positionally identical result
+rows.
+
+:func:`canonicalize` exploits that: it renames every variable to ``v0``,
+``v1``, … in a fixed structural traversal order, so isomorphic queries map
+to the *same* canonical :class:`~repro.sparql.algebra.SelectQuery` — a
+hashable value (all algebra nodes are frozen dataclasses) the
+:class:`~repro.serve.server.QueryServer` uses directly as its cache key.
+:func:`plan_shape` further strips the solution modifiers (ORDER BY, LIMIT,
+OFFSET) that the engine applies *after* plan execution, so queries
+differing only in modifiers share one cached plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..sparql.algebra import (
+    And,
+    Comparison,
+    CountAggregate,
+    FilterExpression,
+    Or,
+    OrderCondition,
+    PatternTerm,
+    Regex,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+
+
+class _Renamer:
+    """Injective variable → canonical-variable mapping, built on demand.
+
+    Assignment order is the traversal order of :func:`canonicalize`, so the
+    mapping is a pure function of query structure: isomorphic queries
+    assign the same canonical name at the same structural position.
+    """
+
+    def __init__(self) -> None:
+        self._mapping: dict[Variable, Variable] = {}
+
+    def variable(self, variable: Variable) -> Variable:
+        """The canonical variable for an original one (assigning if new)."""
+        found = self._mapping.get(variable)
+        if found is None:
+            found = Variable(f"v{len(self._mapping)}")
+            self._mapping[variable] = found
+        return found
+
+    def term(self, term: PatternTerm) -> PatternTerm:
+        """Rename a pattern slot; concrete terms pass through unchanged."""
+        if isinstance(term, Variable):
+            return self.variable(term)
+        return term
+
+    def pattern(self, pattern: TriplePattern) -> TriplePattern:
+        """Rename all three slots of a triple pattern."""
+        return TriplePattern(
+            self.term(pattern.subject),
+            self.term(pattern.predicate),
+            self.term(pattern.object),
+        )
+
+    def group(self, group: tuple[TriplePattern, ...]) -> tuple[TriplePattern, ...]:
+        """Rename one pattern group (an OPTIONAL block or UNION branch)."""
+        return tuple(self.pattern(pattern) for pattern in group)
+
+    def filter(self, expression: FilterExpression) -> FilterExpression:
+        """Rename every variable inside a filter expression tree."""
+        if isinstance(expression, Comparison):
+            return Comparison(
+                expression.op, self.term(expression.left), self.term(expression.right)
+            )
+        if isinstance(expression, Regex):
+            return Regex(self.variable(expression.variable), expression.pattern)
+        if isinstance(expression, And):
+            return And(tuple(self.filter(operand) for operand in expression.operands))
+        assert isinstance(expression, Or)
+        return Or(tuple(self.filter(operand) for operand in expression.operands))
+
+
+def canonicalize(query: SelectQuery) -> SelectQuery:
+    """The canonical form of a query: variables renamed structurally.
+
+    The traversal assigns canonical names pattern-first (required BGP, then
+    OPTIONAL groups, UNION branches, filters, grouping, aggregates, ORDER
+    BY, and finally the explicit projection), matching the order the
+    planner itself discovers variables. Executing the canonical query
+    yields rows positionally identical to the original's — only the
+    :class:`~repro.core.results.ResultSet` variable *names* differ, and the
+    server reapplies the original names on a cache hit.
+    """
+    renamer = _Renamer()
+    patterns = renamer.group(query.patterns)
+    optional_groups = tuple(renamer.group(group) for group in query.optional_groups)
+    union_branches = tuple(renamer.group(branch) for branch in query.union_branches)
+    filters = tuple(renamer.filter(expression) for expression in query.filters)
+    group_by = tuple(renamer.variable(variable) for variable in query.group_by)
+    aggregates = tuple(
+        CountAggregate(
+            alias=renamer.variable(aggregate.alias),
+            variable=(
+                renamer.variable(aggregate.variable)
+                if aggregate.variable is not None
+                else None
+            ),
+            distinct=aggregate.distinct,
+        )
+        for aggregate in query.aggregates
+    )
+    order_by = tuple(
+        OrderCondition(renamer.variable(condition.variable), condition.descending)
+        for condition in query.order_by
+    )
+    variables = tuple(renamer.variable(variable) for variable in query.variables)
+    return SelectQuery(
+        variables=variables,
+        patterns=patterns,
+        filters=filters,
+        form=query.form,
+        optional_groups=optional_groups,
+        union_branches=union_branches,
+        aggregates=aggregates,
+        group_by=group_by,
+        distinct=query.distinct,
+        order_by=order_by,
+        limit=query.limit,
+        offset=query.offset,
+    )
+
+
+def plan_shape(canonical: SelectQuery) -> SelectQuery:
+    """A canonical query reduced to what the *plan* depends on.
+
+    ORDER BY, LIMIT, and OFFSET are applied during result finalization,
+    after the planned frame has executed — they never reach the engine
+    plan — so stripping them lets queries that differ only in modifiers
+    share one plan-cache entry. Everything else (patterns, filters,
+    DISTINCT, aggregation, projection order) shapes the frame and stays.
+    """
+    return replace(canonical, order_by=(), limit=None, offset=None)

@@ -1,0 +1,243 @@
+"""Closed-loop workload replay: the serve layer's wall-clock benchmark.
+
+Simulates a production serving window: N closed-loop clients (each sends
+its next query only after receiving the previous answer) replaying a
+WatDiv query mix against one :class:`~repro.serve.server.QueryServer`,
+measured three ways:
+
+- **cold** — both caches disabled: every request pays the full
+  translate → optimize → plan-verify → execute pipeline;
+- **warm_plan** — plan cache only, pre-warmed: requests skip planning but
+  still execute (the honest measure of what plan caching alone buys);
+- **warm_full** — plan + result caches, pre-warmed: repeated queries are
+  answered without executing at all.
+
+Per-phase output is p50/p95/p99/mean latency, throughput, and the cache
+hit rates, written to ``BENCH_serve.json`` at the repository root by
+``prost-repro replay`` so the serving-path trajectory is tracked PR over
+PR. A shared engine is globally warmed (columnar transpositions,
+dictionary memos) before any phase, so the phases differ *only* in cache
+policy — cold is not penalized for running first.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import statistics
+import threading
+import time
+
+from ..core.prost import ProstEngine
+from ..watdiv.generator import generate_watdiv
+from ..watdiv.queries import basic_query_set
+from .batching import execute_batch
+from .server import QueryServer, ServerStats
+
+#: Phase name → (plan-cache capacity given a pool of size n, result-cache
+#: capacity, pre-warm?). Capacities comfortably hold the whole pool, so
+#: warm-phase hit rates measure caching, not eviction churn.
+REPLAY_PHASES = {
+    "cold": (lambda n: 0, lambda n: 0, False),
+    "warm_plan": (lambda n: 2 * n, lambda n: 0, True),
+    "warm_full": (lambda n: 2 * n, lambda n: 4 * n, True),
+}
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _cache_report(cache) -> dict:
+    """Hit/miss accounting of one LRU cache, for the JSON payload."""
+    return {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+        "entries": len(cache),
+        "hit_rate": round(cache.hit_rate, 4),
+    }
+
+
+def _run_phase(
+    server: QueryServer,
+    pool,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+) -> dict:
+    """One measured replay window over an already-configured server."""
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        rng = random.Random(seed * 7919 + client_id)
+        local: list[float] = []
+        try:
+            for _ in range(requests_per_client):
+                query = pool[rng.randrange(len(pool))]
+                started = time.perf_counter()
+                server.sparql(query.text, tenant=f"client-{client_id}")
+                local.append(time.perf_counter() - started)
+        except BaseException as exc:  # surfaced after join, not swallowed
+            with lock:
+                errors.append(exc)
+            return
+        with lock:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client, args=(client_id,), name=f"replay-{client_id}")
+        for client_id in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total_sec = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return {
+        "requests": len(latencies),
+        "total_sec": round(total_sec, 4),
+        "throughput_qps": round(len(latencies) / total_sec, 2) if total_sec else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1000, 3),
+        "plan_cache": _cache_report(server._plan_cache),
+        "result_cache": _cache_report(server._result_cache),
+        "stats": server.stats.to_dict(),
+    }
+
+
+def _batch_report(engine: ProstEngine, pool, repeats: int = 3) -> dict:
+    """A demonstration batch: every pool query × ``repeats``, one batch."""
+    server = QueryServer(engine, plan_cache_size=4 * len(pool), result_cache_size=0)
+    texts = [query.text for query in pool] * repeats
+    started = time.perf_counter()
+    results = execute_batch(server, texts)
+    batch_sec = time.perf_counter() - started
+    return {
+        "queries": len(texts),
+        "distinct": len(pool),
+        "batch_sec": round(batch_sec, 4),
+        "rows_returned": sum(len(result) for result in results),
+        "batched_queries": server.stats.batched_queries,
+        "shared_scans": server.stats.shared_scans,
+    }
+
+
+def run_replay(
+    scale: int = 400,
+    seed: int = 7,
+    clients: int = 4,
+    requests_per_client: int = 25,
+    groups: tuple[str, ...] = ("C", "F", "S", "L"),
+) -> dict:
+    """The ``prost-repro replay`` payload (see module docstring)."""
+    dataset = generate_watdiv(scale=scale, seed=seed)
+    pool = [query for query in basic_query_set(dataset) if query.group in groups]
+    engine = ProstEngine()
+    started = time.perf_counter()
+    engine.load(dataset.graph)
+    load_sec = time.perf_counter() - started
+
+    # Global engine warm-up: every pool query once, directly on the engine
+    # (no serve caches involved), so columnar transpositions and dictionary
+    # memos are hot before *any* phase — including cold — is measured.
+    for query in pool:
+        engine.sparql(query.text)
+
+    phases: dict[str, dict] = {}
+    for name, (plan_capacity, result_capacity, warm) in REPLAY_PHASES.items():
+        server = QueryServer(
+            engine,
+            plan_cache_size=plan_capacity(len(pool)),
+            result_cache_size=result_capacity(len(pool)),
+        )
+        if warm:
+            for query in pool:
+                server.sparql(query.text, tenant="warmer")
+            # Measured counters and hit rates describe the replay window
+            # only, not the warming pass.
+            server.stats = ServerStats()
+            for cache in (server._plan_cache, server._result_cache):
+                cache.hits = cache.misses = cache.evictions = 0
+        phases[name] = _run_phase(server, pool, clients, requests_per_client, seed)
+
+    cold_p50 = phases["cold"]["p50_ms"]
+    warm_plan_p50 = phases["warm_plan"]["p50_ms"]
+    warm_full_p50 = phases["warm_full"]["p50_ms"]
+    return {
+        "benchmark": "serve-replay",
+        "description": (
+            "Closed-loop multi-tenant replay of the WatDiv mix through "
+            "repro.serve.QueryServer: cold pipeline vs plan cache vs "
+            "plan+result caches"
+        ),
+        "scale": scale,
+        "seed": seed,
+        "triples": len(dataset.graph),
+        "load_sec": round(load_sec, 4),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "query_pool": [query.name for query in pool],
+        "phases": phases,
+        "p50_ms": {name: phase["p50_ms"] for name, phase in phases.items()},
+        "p95_ms": {name: phase["p95_ms"] for name, phase in phases.items()},
+        "p99_ms": {name: phase["p99_ms"] for name, phase in phases.items()},
+        "plan_cache_hit_rate": phases["warm_plan"]["plan_cache"]["hit_rate"],
+        "result_cache_hit_rate": phases["warm_full"]["result_cache"]["hit_rate"],
+        "warm_plan_speedup_p50": (
+            round(cold_p50 / warm_plan_p50, 2) if warm_plan_p50 else float("inf")
+        ),
+        "warm_full_speedup_p50": (
+            round(cold_p50 / warm_full_p50, 2) if warm_full_p50 else float("inf")
+        ),
+        "batch": _batch_report(engine, pool),
+    }
+
+
+def write_replay_json(payload: dict, path: str) -> None:
+    """Write the replay payload as pretty JSON (trailing newline included)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def render_replay(payload: dict) -> str:
+    """A terminal summary of a replay payload."""
+    lines = [
+        f"serve replay: scale={payload['scale']} "
+        f"({payload['triples']:,} triples), {payload['clients']} clients × "
+        f"{payload['requests_per_client']} requests, "
+        f"{len(payload['query_pool'])} distinct queries",
+    ]
+    for name, phase in payload["phases"].items():
+        lines.append(
+            f"  {name:9} p50 {phase['p50_ms']:8.3f}ms  "
+            f"p95 {phase['p95_ms']:8.3f}ms  p99 {phase['p99_ms']:8.3f}ms  "
+            f"{phase['throughput_qps']:7.1f} q/s"
+        )
+    lines.append(
+        f"  plan-cache hit rate {payload['plan_cache_hit_rate']:.1%}, "
+        f"result-cache hit rate {payload['result_cache_hit_rate']:.1%}"
+    )
+    lines.append(
+        f"  p50 speedup: cold → warm_plan {payload['warm_plan_speedup_p50']:.2f}x, "
+        f"cold → warm_full {payload['warm_full_speedup_p50']:.2f}x"
+    )
+    batch = payload["batch"]
+    lines.append(
+        f"  batch: {batch['queries']} queries ({batch['distinct']} distinct) "
+        f"in {batch['batch_sec']:.3f}s, {batch['batched_queries']} deduplicated, "
+        f"{batch['shared_scans']} shared scans"
+    )
+    return "\n".join(lines)

@@ -25,10 +25,12 @@ from .differential import (
     DifferentialRunner,
     FaultStats,
     FuzzReport,
+    ServedProstEngine,
     chaos_plan_seed,
     chaos_seed_from_env,
     fuzz_defaults,
     run_fuzz,
+    serve_mode_from_env,
 )
 from .graphgen import GraphGenConfig, generate_graph
 from .oracle import BruteForceOracle
@@ -44,6 +46,7 @@ __all__ = [
     "FuzzReport",
     "GraphGenConfig",
     "QueryGenConfig",
+    "ServedProstEngine",
     "chaos_plan_seed",
     "chaos_seed_from_env",
     "fuzz_defaults",
@@ -51,4 +54,5 @@ __all__ = [
     "generate_query",
     "run_fuzz",
     "serialize_query",
+    "serve_mode_from_env",
 ]

@@ -40,12 +40,73 @@ SEED_ENV = "REPRO_FUZZ_SEED"
 ITERATIONS_ENV = "REPRO_FUZZ_ITERATIONS"
 #: Enables chaos mode and picks its base seed when set (CLI: ``--chaos``).
 CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+#: When truthy, PRoST engines run behind a :class:`ServedProstEngine` so the
+#: whole differential corpus also exercises the serving layer's cached-plan
+#: and batched execution paths (CI runs a leg with a 2-entry plan cache).
+SERVE_MODE_ENV = "REPRO_SERVE_MODE"
 
 
 def chaos_seed_from_env() -> int | None:
     """The chaos base seed requested via :data:`CHAOS_SEED_ENV`, if any."""
     value = os.environ.get(CHAOS_SEED_ENV)
     return int(value) if value is not None else None
+
+
+def serve_mode_from_env() -> bool:
+    """Whether :data:`SERVE_MODE_ENV` asks for served PRoST engines."""
+    return os.environ.get(SERVE_MODE_ENV, "0") not in ("0", "", "false")
+
+
+class ServedProstEngine:
+    """A :class:`~repro.core.prost.ProstEngine` behind the serving layer.
+
+    The serve-mode differential check: every query runs three ways through
+    one :class:`~repro.serve.server.QueryServer` — cold (first call plans
+    and populates the plan cache), cached-plan (second call must hit the
+    cache, or at least replan identically after an eviction), and batched
+    (a two-copy batch through :func:`~repro.serve.batching.execute_batch`,
+    exercising deduplication and shared scans). All three row sets must be
+    multiset-equal *to each other*; the cached-plan rows are returned, so
+    the harness's oracle comparison then holds the cached path to the
+    brute-force ground truth as well.
+
+    The result cache is deliberately disabled: a result-cache hit would
+    answer the later runs from the first run's rows, proving nothing.
+    """
+
+    def __init__(self, strategy: str, cluster_config: ClusterConfig | None = None):
+        from ..core.prost import ProstEngine
+        from ..serve import QueryServer
+
+        self.engine = ProstEngine(strategy=strategy, cluster_config=cluster_config)
+        self.server = QueryServer(self.engine, result_cache_size=0)
+
+    @property
+    def session(self):
+        """The engine's session (chaos mode reads its recovery counters)."""
+        return self.engine.session
+
+    def load(self, graph: Graph):
+        return self.server.load(graph)
+
+    def sparql(self, query, tracer=None):
+        from ..serve.batching import execute_batch
+
+        cold = self.server.sparql(query, tracer=tracer)
+        cached = self.server.sparql(query)
+        batched = execute_batch(self.server, [query, query])
+        reference = Counter(map(row_key, cold.rows))
+        for label, result in (
+            ("cached-plan", cached),
+            ("batched[0]", batched[0]),
+            ("batched[1]", batched[1]),
+        ):
+            if Counter(map(row_key, result.rows)) != reference:
+                raise ValidationError(
+                    f"serve mode: {label} execution diverged from cold "
+                    f"execution ({len(result.rows)} vs {len(cold.rows)} rows)"
+                )
+        return cached
 
 
 def chaos_plan_seed(chaos_seed: int, case_seed: int) -> int:
@@ -71,14 +132,19 @@ def make_system(name: str, cluster_config: ClusterConfig | None = None):
 
     ``cluster_config`` applies to the systems that run on the simulated
     cluster (chaos mode passes one carrying a ``fault_seed``); Rya runs on
-    the key-value store and ignores it.
+    the key-value store and ignores it. With :data:`SERVE_MODE_ENV` set,
+    the PRoST engines come wrapped in :class:`ServedProstEngine`.
     """
     from ..baselines import Rya, S2Rdf, SparqlGx
     from ..core.prost import ProstEngine
 
     if name == "prost-mixed":
+        if serve_mode_from_env():
+            return ServedProstEngine("mixed", cluster_config=cluster_config)
         return ProstEngine(strategy="mixed", cluster_config=cluster_config)
     if name == "prost-vp":
+        if serve_mode_from_env():
+            return ServedProstEngine("vp", cluster_config=cluster_config)
         return ProstEngine(strategy="vp", cluster_config=cluster_config)
     if name == "s2rdf":
         return S2Rdf(cluster_config=cluster_config)

@@ -1,0 +1,98 @@
+"""The configuration contract: completeness and docs sync.
+
+``repro.obs.configdoc`` is the single source of truth for the knob surface.
+These tests pin it from three directions: every ``ClusterConfig`` field must
+carry a curated description (and none may be stale), every ``REPRO_*``
+literal in the source tree must appear in the env-var registry (no
+undocumented variables), and ``docs/CONFIGURATION.md`` must be byte-identical
+to ``configdoc.markdown()`` (no drift between code and docs).
+"""
+
+import dataclasses
+import pathlib
+import re
+import subprocess
+import sys
+
+from repro.engine.cluster import ClusterConfig
+from repro.obs import configdoc
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+REGENERATE = "`prost-repro config --markdown > docs/CONFIGURATION.md`"
+
+
+class TestCompleteness:
+    def test_every_cluster_config_field_has_a_row(self):
+        rows = {row.name for row in configdoc.config_rows()}
+        declared = {f.name for f in dataclasses.fields(ClusterConfig)}
+        assert rows == declared
+
+    def test_rows_carry_defaults_rules_and_descriptions(self):
+        for row in configdoc.config_rows():
+            assert row.default, f"{row.name} lacks a default rendering"
+            assert row.rule, f"{row.name} lacks a validation rule"
+            assert row.description.strip(), f"{row.name} lacks a description"
+
+    def test_env_fallbacks_reference_registered_variables(self):
+        registered = {variable.name for variable in configdoc.ENV_VARS}
+        for row in configdoc.config_rows():
+            if row.env:
+                assert row.env in registered, (
+                    f"{row.name} references unregistered env var {row.env}"
+                )
+
+    def test_every_env_var_in_source_is_registered(self):
+        """Grep the source tree for REPRO_* literals: a new variable cannot
+        ship without a row in the configuration reference."""
+        pattern = re.compile(r"REPRO_[A-Z_]+")
+        found: set[str] = set()
+        for path in (REPO_ROOT / "src").rglob("*.py"):
+            found.update(pattern.findall(path.read_text(encoding="utf-8")))
+        registered = {variable.name for variable in configdoc.ENV_VARS}
+        assert found <= registered, (
+            f"undocumented env vars in src/: {sorted(found - registered)}"
+        )
+
+    def test_registered_runtime_vars_exist_in_source(self):
+        """No phantom documentation: every runtime-scope variable in the
+        registry is actually read somewhere under src/."""
+        pattern = re.compile(r"REPRO_[A-Z_]+")
+        found: set[str] = set()
+        for path in (REPO_ROOT / "src").rglob("*.py"):
+            found.update(pattern.findall(path.read_text(encoding="utf-8")))
+        for variable in configdoc.ENV_VARS:
+            if variable.scope == "runtime":
+                assert variable.name in found, (
+                    f"{variable.name} documented but never read in src/"
+                )
+
+    def test_env_vars_sorted_and_scoped(self):
+        names = [variable.name for variable in configdoc.ENV_VARS]
+        assert names == sorted(names), "keep ENV_VARS alphabetical"
+        for variable in configdoc.ENV_VARS:
+            assert variable.scope in ("runtime", "tests")
+            assert variable.description.strip()
+
+
+class TestDocsSync:
+    def test_configuration_md_matches_generator_byte_for_byte(self):
+        path = REPO_ROOT / "docs" / "CONFIGURATION.md"
+        assert path.exists(), (
+            f"docs/CONFIGURATION.md missing; regenerate with {REGENERATE}"
+        )
+        assert path.read_text(encoding="utf-8") == configdoc.markdown(), (
+            f"docs/CONFIGURATION.md drifted from the code; regenerate with "
+            f"{REGENERATE}"
+        )
+
+    def test_cli_markdown_output_is_byte_identical(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "config", "--markdown"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == configdoc.markdown()

@@ -45,8 +45,19 @@ class TestCompleteness:
 
     def test_registry_layers(self):
         assert set(REGISTRY.layers()) == {
-            "cost", "engine", "faults", "governor", "hdfs",
+            "cost", "engine", "faults", "governor", "hdfs", "serve",
         }
+
+    def test_every_server_stats_field_is_registered(self):
+        from repro.obs.metrics import _SERVE_FIELDS
+        from repro.serve import ServerStats
+
+        declared = {f.name for f in dataclasses.fields(ServerStats)}
+        assert declared == set(_SERVE_FIELDS), (
+            "ServerStats fields and the serve metrics layer drifted apart"
+        )
+        for name in _SERVE_FIELDS:
+            assert f"serve.{name}" in REGISTRY
 
     def test_specs_are_documented(self):
         for spec in REGISTRY:

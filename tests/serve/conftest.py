@@ -1,0 +1,65 @@
+"""Shared fixtures for the serving-layer tests: one tiny graph, one engine.
+
+The graph is a three-node `follows` cycle plus two `likes` edges — small
+enough that every expected row set can be written out by hand, rich enough
+to exercise joins, self-joins, and property-table grouping.
+"""
+
+import pytest
+
+from repro.core import ProstEngine
+from repro.rdf import Graph
+from repro.serve import QueryServer
+
+GRAPH_NT = """
+<http://ex/a> <http://ex/follows> <http://ex/b> .
+<http://ex/b> <http://ex/follows> <http://ex/c> .
+<http://ex/c> <http://ex/follows> <http://ex/a> .
+<http://ex/a> <http://ex/likes> <http://ex/c> .
+<http://ex/b> <http://ex/likes> <http://ex/c> .
+"""
+
+#: A different dataset for reload tests: one lone edge.
+RELOAD_NT = "<http://ex/x> <http://ex/follows> <http://ex/y> ."
+
+Q_FOLLOWS = "SELECT ?s ?o WHERE { ?s <http://ex/follows> ?o }"
+#: Isomorphic to Q_FOLLOWS up to variable renaming.
+Q_FOLLOWS_ISO = "SELECT ?x ?y WHERE { ?x <http://ex/follows> ?y }"
+#: Two-hop self-join over the follows table.
+Q_TWO_HOP = (
+    "SELECT ?a ?c WHERE { ?a <http://ex/follows> ?b . "
+    "?b <http://ex/follows> ?c }"
+)
+#: Same subject, two predicates — a property-table shaped query.
+Q_STAR = (
+    "SELECT ?s ?o WHERE { ?s <http://ex/follows> ?o . "
+    "?s <http://ex/likes> ?c }"
+)
+
+
+@pytest.fixture()
+def engine() -> ProstEngine:
+    engine = ProstEngine()
+    engine.load(Graph.from_ntriples(GRAPH_NT))
+    return engine
+
+
+@pytest.fixture()
+def server(engine) -> QueryServer:
+    """A server with both caches on (small, but larger than the tests need)."""
+    return QueryServer(engine, plan_cache_size=8, result_cache_size=8)
+
+
+@pytest.fixture()
+def plan_only_server(engine) -> QueryServer:
+    """Result cache disabled: every serving must *execute* (possibly via a
+    cached plan) — the fixture for asserting plan-cache behavior."""
+    return QueryServer(engine, plan_cache_size=8, result_cache_size=0)
+
+
+def row_keys(result):
+    """Hashable multiset-comparable view of a ResultSet's rows."""
+    return sorted(
+        tuple(None if term is None else term.n3() for term in row)
+        for row in result.rows
+    )

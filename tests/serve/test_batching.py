@@ -1,0 +1,59 @@
+"""Batch execution: deduplication, shared scans, and result equivalence."""
+
+from repro.serve import QueryServer, execute_batch, tables_scanned
+
+from .conftest import Q_FOLLOWS, Q_FOLLOWS_ISO, Q_STAR, Q_TWO_HOP, row_keys
+
+
+class TestTablesScanned:
+    def test_single_pattern_scans_one_table(self, engine):
+        frame, _ = engine.dataframe(Q_FOLLOWS)
+        assert len(tables_scanned(frame.plan)) == 1
+
+    def test_self_join_keeps_duplicate_references(self, engine):
+        frame, _ = engine.dataframe(Q_TWO_HOP)
+        tables = tables_scanned(frame.plan)
+        assert len(tables) == 2
+        assert len(set(tables)) == 1  # same table, referenced twice
+
+
+class TestExecuteBatch:
+    def test_results_match_one_at_a_time_execution(self, engine):
+        queries = [Q_FOLLOWS, Q_STAR, Q_TWO_HOP, Q_FOLLOWS_ISO]
+        server = QueryServer(engine, plan_cache_size=8, result_cache_size=0)
+        batched = execute_batch(server, queries)
+        for query, result in zip(queries, batched):
+            assert row_keys(result) == row_keys(engine.sparql(query)), query
+
+    def test_results_return_in_input_order_with_caller_names(self, engine):
+        server = QueryServer(engine, plan_cache_size=8, result_cache_size=0)
+        results = execute_batch(server, [Q_FOLLOWS_ISO, Q_FOLLOWS])
+        assert results[0].variables == ("x", "y")
+        assert results[1].variables == ("s", "o")
+
+    def test_duplicates_execute_once(self, engine):
+        server = QueryServer(engine, plan_cache_size=8, result_cache_size=0)
+        execute_batch(server, [Q_FOLLOWS, Q_FOLLOWS, Q_FOLLOWS_ISO])
+        stats = server.stats
+        assert stats.queries_served == 3
+        # Q_FOLLOWS, its copy, and the isomorphic variant are one group.
+        assert stats.batched_queries == 2
+        assert stats.plan_cache_misses == 1
+
+    def test_shared_scans_counted_across_distinct_queries(self, engine):
+        server = QueryServer(engine, plan_cache_size=8, result_cache_size=0)
+        # Q_FOLLOWS scans follows once, Q_TWO_HOP twice: 3 references,
+        # 1 distinct table -> 2 shared.
+        execute_batch(server, [Q_FOLLOWS, Q_TWO_HOP])
+        assert server.stats.shared_scans == 2
+
+    def test_batch_populates_the_result_cache(self, engine):
+        server = QueryServer(engine, plan_cache_size=8, result_cache_size=8)
+        execute_batch(server, [Q_FOLLOWS])
+        server.sparql(Q_FOLLOWS)
+        assert server.stats.result_cache_hits == 1
+
+    def test_batch_charges_the_tenant(self, engine):
+        server = QueryServer(engine, plan_cache_size=8, result_cache_size=0)
+        execute_batch(server, [Q_FOLLOWS, Q_STAR], tenant="batcher")
+        assert server.tenant_snapshot()["batcher"]["admitted"] == 2

@@ -1,0 +1,77 @@
+"""The LRU cache: eviction order, counters, and the disabled state."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import LruCache
+
+
+class TestLruCache:
+    def test_put_get_roundtrip(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = LruCache(2)
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # bump "a": "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_peek_has_no_side_effects(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.hits == 0 and cache.misses == 0
+        cache.put("c", 3)  # without the peek bump, "a" is still LRU
+        assert cache.peek("a") is None
+
+    def test_put_overwrites_in_place(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+        assert cache.evictions == 0
+
+    def test_evict_and_clear(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.evict("a")
+        assert cache.peek("a") is None and len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1  # counters survive clear()
+
+    def test_capacity_zero_disables(self):
+        cache = LruCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.capacity == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            LruCache(-1)
+
+    def test_hit_rate(self):
+        cache = LruCache(2)
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == 0.5

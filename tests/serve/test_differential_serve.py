@@ -1,0 +1,79 @@
+"""Serve-mode differential equivalence: served == cold, on fuzzed corpora.
+
+``REPRO_SERVE_MODE=1`` makes the differential harness wrap both PRoST
+engines in :class:`~repro.testing.differential.ServedProstEngine`, which
+runs every query cold, via the plan cache, and as a two-copy batch, and
+demands all three agree before the oracle comparison even happens. These
+tests run a slice of the fuzz corpus that way — with a deliberately tiny
+plan cache so evictions and replans are exercised — plus direct unit
+checks of the wrapper itself.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.rdf import Graph
+from repro.testing import BruteForceOracle, run_fuzz
+from repro.testing.differential import (
+    ServedProstEngine,
+    row_key,
+    serve_mode_from_env,
+)
+
+from .conftest import GRAPH_NT, Q_FOLLOWS, Q_STAR, Q_TWO_HOP
+
+
+class TestServeModeEnv:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_MODE", raising=False)
+        assert serve_mode_from_env() is False
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("0", False), ("", False),
+    ])
+    def test_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_SERVE_MODE", value)
+        assert serve_mode_from_env() is expected
+
+
+class TestServedProstEngine:
+    def test_matches_oracle_on_handwritten_queries(self):
+        graph = Graph.from_ntriples(GRAPH_NT)
+        oracle = BruteForceOracle(graph)
+        served = ServedProstEngine("mixed")
+        served.load(graph)
+        from repro.sparql.parser import parse_sparql
+
+        for text in (Q_FOLLOWS, Q_STAR, Q_TWO_HOP):
+            query = parse_sparql(text)
+            expected = Counter(map(row_key, oracle.evaluate(query)))
+            actual = Counter(map(row_key, served.sparql(query).rows))
+            assert actual == expected, text
+
+    def test_exercises_cached_plan_and_batch_paths(self):
+        served = ServedProstEngine("mixed")
+        served.load(Graph.from_ntriples(GRAPH_NT))
+        served.sparql(Q_FOLLOWS)
+        stats = served.server.stats
+        assert stats.plan_cache_hits >= 1  # the second (cached) run hit
+        assert stats.batched_queries >= 1  # the two-copy batch deduplicated
+        assert stats.result_cache_hits == 0  # result cache must stay off
+
+
+class TestServeModeFuzz:
+    def test_fuzz_slice_through_the_serving_layer(self, monkeypatch):
+        """Three seeds of the PRoST systems with a 2-entry plan cache (the
+        CI leg runs the full corpus; this keeps tier-1 honest and fast)."""
+        monkeypatch.setenv("REPRO_SERVE_MODE", "1")
+        monkeypatch.setenv("REPRO_SERVE_PLAN_CACHE", "2")
+        report = run_fuzz(
+            base_seed=0,
+            iterations=3,
+            queries_per_graph=5,
+            systems=("prost-mixed", "prost-vp"),
+            shrink=False,
+        )
+        assert report.ok, report.summary() + "\n\n" + "\n\n".join(
+            m.format() for m in report.mismatches
+        )

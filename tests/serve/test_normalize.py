@@ -1,0 +1,88 @@
+"""Query normalization: isomorphic queries collapse, distinct ones don't."""
+
+from repro.serve import canonicalize, plan_shape
+from repro.sparql.parser import parse_sparql
+
+from .conftest import Q_FOLLOWS, Q_FOLLOWS_ISO
+
+
+class TestCanonicalize:
+    def test_isomorphic_queries_share_one_canonical_form(self):
+        a = canonicalize(parse_sparql(Q_FOLLOWS))
+        b = canonicalize(parse_sparql(Q_FOLLOWS_ISO))
+        assert a == b
+
+    def test_canonical_variables_are_positional(self):
+        canonical = canonicalize(parse_sparql(Q_FOLLOWS))
+        names = {v.name for v in canonical.projection}
+        assert names <= {"v0", "v1", "v2"}
+
+    def test_canonicalize_is_idempotent(self):
+        once = canonicalize(parse_sparql(Q_FOLLOWS))
+        assert canonicalize(once) == once
+
+    def test_distinct_structures_stay_distinct(self):
+        shared = canonicalize(
+            parse_sparql("SELECT ?s WHERE { ?s <http://ex/p> ?s }")
+        )
+        free = canonicalize(
+            parse_sparql("SELECT ?s WHERE { ?s <http://ex/p> ?o }")
+        )
+        assert shared != free
+
+    def test_renaming_is_injective_across_positions(self):
+        """?a and ?b must not both map to the same canonical variable."""
+        joined = canonicalize(
+            parse_sparql(
+                "SELECT ?a WHERE { ?a <http://ex/p> ?b . ?b <http://ex/q> ?a }"
+            )
+        )
+        chain = canonicalize(
+            parse_sparql(
+                "SELECT ?a WHERE { ?a <http://ex/p> ?b . ?c <http://ex/q> ?a }"
+            )
+        )
+        assert joined != chain
+
+    def test_filters_participate_in_the_canonical_form(self):
+        plain = canonicalize(parse_sparql(Q_FOLLOWS))
+        filtered = canonicalize(
+            parse_sparql(
+                "SELECT ?s ?o WHERE { ?s <http://ex/follows> ?o . "
+                "FILTER(?o != 5) }"
+            )
+        )
+        assert plain != filtered
+
+
+class TestPlanShape:
+    def test_modifier_variants_share_one_shape(self):
+        base = plan_shape(canonicalize(parse_sparql(Q_FOLLOWS)))
+        limited = plan_shape(
+            canonicalize(parse_sparql(Q_FOLLOWS + " LIMIT 2"))
+        )
+        ordered = plan_shape(
+            canonicalize(parse_sparql(Q_FOLLOWS + " ORDER BY ?s"))
+        )
+        assert base == limited == ordered
+
+    def test_shape_strips_only_modifiers(self):
+        shape = plan_shape(canonicalize(parse_sparql(Q_FOLLOWS + " LIMIT 2")))
+        assert shape.limit is None
+        assert shape.offset is None
+        assert shape.order_by == ()
+        assert shape.patterns  # the body survives
+
+    def test_distinct_is_part_of_the_shape(self):
+        """DISTINCT changes the plan (a dedup operator), so it must not be
+        stripped with the post-execution modifiers."""
+        plain = plan_shape(canonicalize(parse_sparql(Q_FOLLOWS)))
+        distinct = plan_shape(
+            canonicalize(
+                parse_sparql(
+                    "SELECT DISTINCT ?s ?o WHERE "
+                    "{ ?s <http://ex/follows> ?o }"
+                )
+            )
+        )
+        assert plain != distinct

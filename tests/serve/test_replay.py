@@ -1,0 +1,89 @@
+"""The workload-replay benchmark: math, payload shape, and a small live run."""
+
+import json
+
+import pytest
+
+from repro.serve.replay import (
+    REPLAY_PHASES,
+    percentile,
+    render_replay,
+    run_replay,
+    write_replay_json,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [float(n) for n in range(1, 11)]  # 1..10
+        assert percentile(samples, 0.50) == 5.0
+        assert percentile(samples, 0.95) == 10.0
+        assert percentile(samples, 0.99) == 10.0
+
+    def test_single_sample(self):
+        assert percentile([42.0], 0.50) == 42.0
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestPhaseTable:
+    def test_the_three_phases(self):
+        assert set(REPLAY_PHASES) == {"cold", "warm_plan", "warm_full"}
+
+    def test_cold_disables_both_caches(self):
+        plan, result, warm = REPLAY_PHASES["cold"]
+        assert plan(10) == 0 and result(10) == 0 and warm is False
+
+    def test_warm_capacities_cover_the_pool(self):
+        plan, result, warm = REPLAY_PHASES["warm_full"]
+        assert plan(10) >= 10 and result(10) >= 10 and warm is True
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One small live replay, shared by the assertions below (the real
+    artifact is produced by ``prost-repro replay`` at a larger scale)."""
+    return run_replay(scale=60, seed=7, clients=2, requests_per_client=4)
+
+
+class TestRunReplay:
+    def test_payload_shape(self, payload):
+        assert payload["benchmark"] == "serve-replay"
+        assert set(payload["phases"]) == set(REPLAY_PHASES)
+        for phase in payload["phases"].values():
+            assert phase["requests"] == 8
+            assert phase["p50_ms"] <= phase["p95_ms"] <= phase["p99_ms"]
+
+    def test_warm_plan_phase_hits_the_plan_cache(self, payload):
+        warm = payload["phases"]["warm_plan"]
+        assert warm["plan_cache"]["hits"] == 8  # every request, pre-warmed
+        assert warm["stats"]["plan_cache_misses"] == 0
+        assert payload["plan_cache_hit_rate"] == 1.0
+
+    def test_warm_full_phase_hits_the_result_cache(self, payload):
+        warm = payload["phases"]["warm_full"]
+        assert warm["result_cache"]["hits"] == 8
+        assert payload["result_cache_hit_rate"] == 1.0
+
+    def test_cold_phase_runs_the_full_pipeline(self, payload):
+        cold = payload["phases"]["cold"]
+        assert cold["stats"]["plan_cache_hits"] == 0
+        assert cold["stats"]["result_cache_hits"] == 0
+
+    def test_batch_report(self, payload):
+        batch = payload["batch"]
+        assert batch["queries"] == batch["distinct"] * 3
+        assert batch["batched_queries"] == batch["queries"] - batch["distinct"]
+        assert batch["rows_returned"] >= 0
+
+    def test_json_roundtrip(self, payload, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        write_replay_json(payload, str(path))
+        assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+
+    def test_render_is_plain_text(self, payload):
+        text = render_replay(payload)
+        assert "serve replay" in text
+        assert "p50" in text and "batch:" in text

@@ -243,6 +243,86 @@ class TestMetrics:
         assert capsys.readouterr().out == REGISTRY.markdown()
 
 
+class TestConfig:
+    def test_plain_listing_covers_knobs_and_env(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "[ClusterConfig]" in out
+        assert "num_workers" in out
+        assert "REPRO_VECTORIZE" in out
+
+    def test_markdown_matches_generator(self, capsys):
+        from repro.obs import configdoc
+
+        assert main(["config", "--markdown"]) == 0
+        assert capsys.readouterr().out == configdoc.markdown()
+
+
+class TestServe:
+    def test_scripted_session(self, watdiv_file, tmp_path, capsys):
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "SELECT ?s WHERE { ?s wsdbm:likes ?o } LIMIT 2\n"
+            "SELECT ?s WHERE { ?s wsdbm:likes ?o } LIMIT 2\n"
+            ".stats\n"
+            ".tenants\n"
+            ".quit\n"
+        )
+        code = main(
+            ["serve", "--data", str(watdiv_file), "--script", str(script)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "?s" in out
+        stats = {
+            parts[0]: parts[1]
+            for parts in (line.split() for line in out.splitlines())
+            if len(parts) >= 2 and parts[0].startswith("serve.")
+        }
+        assert stats["serve.queries_served"] == "2"
+        assert stats["serve.result_cache_hits"] == "1"
+        assert "default" in out  # tenant snapshot line
+
+    def test_explain_command_annotates_cached_plan(self, watdiv_file, tmp_path, capsys):
+        query = "SELECT ?s WHERE { ?s wsdbm:likes ?o }"
+        script = tmp_path / "session.txt"
+        script.write_text(f"{query}\n.explain {query}\n.quit\n")
+        assert main(
+            ["serve", "--data", str(watdiv_file), "--script", str(script)]
+        ) == 0
+        assert "[cached plan]" in capsys.readouterr().out
+
+    def test_bad_query_reports_error_and_continues(self, watdiv_file, tmp_path, capsys):
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "THIS IS NOT SPARQL\n"
+            "SELECT ?s WHERE { ?s wsdbm:likes ?o } LIMIT 1\n"
+        )
+        assert main(
+            ["serve", "--data", str(watdiv_file), "--script", str(script)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "?s" in captured.out  # the session survived the bad query
+
+
+class TestReplay:
+    def test_writes_bench_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["replay", "--scale", "60", "--clients", "2", "--requests", "2",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "serve-replay"
+        assert set(payload["phases"]) == {"cold", "warm_plan", "warm_full"}
+        assert payload["plan_cache_hit_rate"] == 1.0
+        assert "serve replay" in capsys.readouterr().out
+
+
 class TestQueryTraceOut:
     def test_query_trace_out_writes_span_tree(self, watdiv_file, tmp_path):
         import json

@@ -1,9 +1,11 @@
-"""Docstring-coverage lint for the observability and engine public API.
+"""Docstring-coverage lint for the observability, engine, governance, and
+serving public API.
 
 A hand-rolled ``ast`` walk (no third-party lint dependencies): every module
-under ``src/repro/obs/`` and ``src/repro/engine/`` must carry a module
-docstring, and every *public* definition — module-level classes and
-functions, and the public methods of public classes — must be documented.
+under ``src/repro/obs/``, ``src/repro/engine/``, ``src/repro/governor/``,
+and ``src/repro/serve/`` must carry a module docstring, and every *public*
+definition — module-level classes and functions, and the public methods of
+public classes — must be documented.
 Private names (leading underscore), dunders other than ``__init__``-bearing
 dataclasses, and nested helpers are exempt.
 """
@@ -14,7 +16,12 @@ import pathlib
 import pytest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-LINTED_PACKAGES = ("src/repro/obs", "src/repro/engine")
+LINTED_PACKAGES = (
+    "src/repro/obs",
+    "src/repro/engine",
+    "src/repro/governor",
+    "src/repro/serve",
+)
 
 
 def _linted_files():
