@@ -17,16 +17,21 @@ class LintViolation:
         path: source file, relative to the scanned root when possible.
         line: 1-indexed line of the offending node.
         message: what is wrong and what the contract demands instead.
+        code: stable diagnostic code for passes that assign one (the
+            concurrency pass's ``CC101``–``CC105``); ``None`` elsewhere.
     """
 
     rule: str
     path: str
     line: int
     message: str
+    code: str | None = None
 
     def format(self) -> str:
-        """One display line: ``path:line: [rule] message``."""
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        """One display line: ``path:line: [rule] message`` (the code, when
+        present, leads the message)."""
+        prefix = f"{self.code}: " if self.code else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {prefix}{self.message}"
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,9 @@ class SourceFile:
     tree: ast.Module
     #: Path below the package root, e.g. ``engine/executor.py``.
     relative_name: str
+    #: Raw module text: comment-level annotations (``# guarded-by: …``)
+    #: are invisible to ``ast``, so passes that read them re-split this.
+    source: str = ""
 
     @property
     def subpackage(self) -> str:
@@ -88,6 +96,7 @@ def load_source_files(root: Path | None = None) -> list[SourceFile]:
                 module=".".join(parts),
                 tree=tree,
                 relative_name=relative.as_posix(),
+                source=source,
             )
         )
     return files

@@ -2,16 +2,33 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
-from .base import LintViolation, load_source_files
+from .base import LintViolation, SourceFile, load_source_files
 from .determinism import check_determinism
 from .errors import check_errors
 from .layering import check_layering
 from .metrics import check_metrics
 
+
+def _check_concurrency(sources: list[SourceFile]) -> list[LintViolation]:
+    """The CC101–CC105 lockset pass, imported lazily: the concurrency
+    subpackage itself imports lint plumbing, so a module-level import here
+    would be circular when ``repro.analysis.concurrency`` loads first."""
+    from ..concurrency.checker import check_concurrency
+
+    return check_concurrency(sources)
+
+
 #: Every pass, in report order.
-ALL_PASSES = (check_layering, check_determinism, check_metrics, check_errors)
+ALL_PASSES = (
+    check_layering,
+    check_determinism,
+    check_metrics,
+    check_errors,
+    _check_concurrency,
+)
 
 
 def run_lints(root: Path | None = None) -> list[LintViolation]:
@@ -31,3 +48,23 @@ def render_report(violations: list[LintViolation]) -> str:
     lines = [violation.format() for violation in violations]
     lines.append(f"lint: {len(violations)} violation(s)")
     return "\n".join(lines)
+
+
+def render_json(violations: list[LintViolation]) -> str:
+    """Machine-readable report: a JSON array of findings (CI annotations).
+
+    Each element carries ``path``, ``line``, ``rule``, ``code`` (``null``
+    for passes without stable codes), and ``message``; the array is sorted
+    the same way as the text report, and the output ends with a newline.
+    """
+    payload = [
+        {
+            "path": violation.path,
+            "line": violation.line,
+            "rule": violation.rule,
+            "code": violation.code,
+            "message": violation.message,
+        }
+        for violation in violations
+    ]
+    return json.dumps(payload, indent=2) + "\n"

@@ -281,11 +281,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .analysis.lint import run_lints
-    from .analysis.lint.runner import render_report
+    from .analysis.lint.runner import render_json, render_report
 
     root = Path(args.root) if args.root else None
     violations = run_lints(root)
-    print(render_report(violations))
+    if args.json:
+        sys.stdout.write(render_json(violations))
+    else:
+        print(render_report(violations))
     return 1 if violations else 0
 
 
@@ -638,11 +641,19 @@ def build_parser() -> argparse.ArgumentParser:
         "import baselines or sparql; obs stays optional), data-plane "
         "determinism (no wall-clock time or ambient randomness outside the "
         "seeded fault injector), the metrics contract (counter names only "
-        "via repro.obs.metrics constants), and the error hierarchy (every "
-        "raise uses repro.errors). Exits non-zero on any violation.",
+        "via repro.obs.metrics constants), the error hierarchy (every "
+        "raise uses repro.errors), and the concurrency discipline of the "
+        "serving data plane (guarded-by/lockset checking, CC101-CC105). "
+        "Exits non-zero on any violation.",
     )
     lint.add_argument(
         "--root", help="package directory to scan (default: the installed repro)"
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array (path, line, rule, code, message) "
+        "instead of the text report",
     )
     lint.set_defaults(handler=_cmd_lint)
 

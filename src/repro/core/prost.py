@@ -13,6 +13,7 @@ Partitioning. ``strategy="vp"`` reproduces the VP-only baseline of Figure 2.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 
@@ -74,7 +75,7 @@ class ProstEngine:
         self.use_statistics = use_statistics
         self.store: ProstStore | None = None
         self._translator: JoinTreeTranslator | None = None
-        self.last_query_report_: QueryExecutionReport | None = None
+        self.last_query_report_: QueryExecutionReport | None = None  # unguarded-ok: last-writer-wins diagnostic
         #: Monotonic load counter: every successful :meth:`load` bumps it,
         #: so anything keyed on :attr:`plan_epoch` (the serve layer's plan
         #: and result caches) is invalidated by a dataset reload.
@@ -83,8 +84,13 @@ class ProstEngine:
         # text → (frame, tree description). Parsing and translation are
         # pure functions of the text and the loaded store, so repeated
         # queries reuse the (immutable) objects; load() clears the plans.
-        self._parse_cache: dict[str, SelectQuery] = {}
-        self._plan_cache: dict[str, tuple[DataFrame, str]] = {}
+        # The serve layer drives this engine from many threads at once, so
+        # both dicts (and the store/version swap a reload performs) are
+        # guarded — and a plan is published through _cache_plan, which
+        # discards it when a reload raced the planning.
+        self._cache_lock = threading.Lock()
+        self._parse_cache: dict[str, SelectQuery] = {}  # guarded-by: _cache_lock
+        self._plan_cache: dict[str, tuple[DataFrame, str]] = {}  # guarded-by: _cache_lock
 
     # -- loading -----------------------------------------------------------------
 
@@ -98,7 +104,7 @@ class ProstEngine:
         """
         if self.store is not None:
             self.session = EngineSession(SimulatedCluster(self.session.config))
-        self.store = load_prost_store(
+        store = load_prost_store(
             graph,
             session=self.session,
             statistics_level=self.statistics_level,
@@ -106,16 +112,23 @@ class ProstEngine:
             include_object_property_table=self.use_object_property_table,
             tracer=tracer,
         )
-        self._translator = JoinTreeTranslator(
-            self.store.statistics,
+        translator = JoinTreeTranslator(
+            store.statistics,
             strategy=self.strategy,
             use_object_property_table=self.use_object_property_table,
             use_statistics=self.use_statistics,
         )
-        self._plan_cache.clear()
-        self.dataset_version += 1
-        assert self.store.load_report is not None
-        return self.store.load_report
+        # Publish the new dataset atomically with the plan-cache clear and
+        # the version bump: a planner thread that snapshotted the old
+        # store can never slip a stale plan in afterwards (_cache_plan
+        # re-checks the version before inserting).
+        with self._cache_lock:
+            self.store = store
+            self._translator = translator
+            self._plan_cache.clear()
+            self.dataset_version += 1
+        assert store.load_report is not None
+        return store.load_report
 
     @property
     def plan_epoch(self) -> tuple:
@@ -166,24 +179,34 @@ class ProstEngine:
         """
         store = self._require_store()
         text = query if isinstance(query, str) else None
-        if text is not None:
-            cached = self._plan_cache.get(text)
-            if cached is not None:
-                return cached
+        # Snapshot the dataset the plan is built against: store, translator,
+        # and the version the finished plan will be published under. A
+        # concurrent load() swaps all three atomically, so this thread plans
+        # against one coherent dataset even if a reload lands mid-planning —
+        # and _cache_plan then discards the (stale) plan.
+        with self._cache_lock:
+            translator = self._translator
+            store = self.store if self.store is not None else store
+            planned_version = self.dataset_version
+            cached = self._plan_cache.get(text) if text is not None else None
+        if cached is not None:
+            return cached
         parsed = parse_sparql(query) if isinstance(query, str) else query
-        assert self._translator is not None
+        assert translator is not None
 
         trees: list[JoinTree] = []
         optional_trees: list[JoinTree] = []
         if parsed.is_union:
-            frame, description = self._union_frame(store, parsed, trees)
+            frame, description = self._union_frame(store, translator, parsed, trees)
         else:
-            tree = self._translator.translate_bgp(parsed.patterns)
+            tree = translator.translate_bgp(parsed.patterns)
             trees.append(tree)
             frame = JoinTreeExecutor(store).build(tree)
             description = tree.describe()
             for group in parsed.optional_groups:
-                frame, optional_tree = self._apply_optional(store, frame, group)
+                frame, optional_tree = self._apply_optional(
+                    store, translator, frame, group
+                )
                 optional_trees.append(optional_tree)
                 description += f"\nOPTIONAL:\n{optional_tree.describe()}"
 
@@ -215,27 +238,48 @@ class ProstEngine:
                 trees,
                 optional_trees,
                 frame.plan,
-                translator=self._translator,
+                translator=translator,
                 catalog=self.session.catalog,
                 config=self.session.config,
             )
         if text is not None:
-            self._plan_cache[text] = (frame, description)
+            self._cache_plan(text, planned_version, frame, description)
         return frame, description
 
+    def _cache_plan(
+        self,
+        text: str,
+        planned_version: int,
+        frame: DataFrame,
+        description: str,
+    ) -> None:
+        """Publish a finished plan into the prepared-statement cache.
+
+        The insert is epoch-checked: if a :meth:`load` completed after this
+        plan's dataset snapshot was taken, the plan was built against the
+        *previous* store and is silently dropped — inserting it would let a
+        text-keyed lookup serve stale rows forever.
+        """
+        with self._cache_lock:
+            if self.dataset_version == planned_version:
+                self._plan_cache[text] = (frame, description)
+
     def _union_frame(
-        self, store, parsed: SelectQuery, trees: list[JoinTree]
+        self,
+        store,
+        translator: JoinTreeTranslator,
+        parsed: SelectQuery,
+        trees: list[JoinTree],
     ) -> tuple[DataFrame, str]:
         """One frame per UNION branch, null-padded to shared columns."""
         from ..engine.expressions import col, lit
 
-        assert self._translator is not None
         executor = JoinTreeExecutor(store)
         branch_frames: list[DataFrame] = []
         descriptions: list[str] = []
         all_columns: list[str] = []
         for branch in parsed.union_branches:
-            tree = self._translator.translate_bgp(branch)
+            tree = translator.translate_bgp(branch)
             trees.append(tree)
             frame = executor.build(tree)
             branch_frames.append(frame)
@@ -257,11 +301,10 @@ class ProstEngine:
         return union, description
 
     def _apply_optional(
-        self, store, frame: DataFrame, group
+        self, store, translator: JoinTreeTranslator, frame: DataFrame, group
     ) -> tuple[DataFrame, JoinTree]:
         """Left-join one OPTIONAL group onto the accumulated frame."""
-        assert self._translator is not None
-        tree = self._translator.translate_bgp(group)
+        tree = translator.translate_bgp(group)
         optional_frame = JoinTreeExecutor(store).build(tree)
         shared = sorted(set(frame.columns) & set(optional_frame.columns))
         if not shared:
@@ -280,10 +323,14 @@ class ProstEngine:
         text (when the span tree aligns with the Join Tree).
         """
         if isinstance(query, str):
-            parsed = self._parse_cache.get(query)
+            with self._cache_lock:
+                parsed = self._parse_cache.get(query)
             if parsed is None:
+                # Parse outside the lock (a racing thread may parse the same
+                # text twice — benign: ASTs are pure functions of the text).
                 parsed = parse_sparql(query)
-                self._parse_cache[query] = parsed
+                with self._cache_lock:
+                    self._parse_cache[query] = parsed
             text = query
         else:
             parsed = query

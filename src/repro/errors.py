@@ -196,3 +196,19 @@ class LoaderError(ReproError):
 
 class TranslationError(ReproError):
     """Raised when a SPARQL query cannot be translated to a join tree."""
+
+
+class InterleaveError(ReproError):
+    """Base class for failures the deterministic interleaving harness
+    (:mod:`repro.testing.interleave`) detects while replaying a schedule."""
+
+
+class DeadlockError(InterleaveError):
+    """A genuine waits-for cycle between instrumented locks was detected
+    under a replayed thread schedule; the message names the cycle."""
+
+
+class SchedulerStallError(InterleaveError):
+    """An interleaved run stopped making progress: the scheduler exceeded
+    its step budget, timed out on the wall clock (a real blocking call
+    swallowed the only runnable thread), or was aborted."""

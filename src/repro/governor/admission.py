@@ -65,17 +65,17 @@ class Governor:
         self.max_queue_depth = max_queue_depth
         self.queue_timeout_sec = queue_timeout_sec
         self.max_queries_per_tenant = max_queries_per_tenant
-        self.admitted = 0
-        self.rejected = 0
-        self.peak_concurrent = 0
         self._condition = threading.Condition()
-        self._active = 0
-        self._active_bytes = 0
-        self._waiting = 0
-        self._tenant_active: dict[str, int] = {}
-        self._tenant_admitted: dict[str, int] = {}
-        self._tenant_rejected: dict[str, int] = {}
-        self._tenant_reserved_bytes: dict[str, int] = {}
+        self.admitted = 0  # guarded-by: _condition
+        self.rejected = 0  # guarded-by: _condition
+        self.peak_concurrent = 0  # guarded-by: _condition
+        self._active = 0  # guarded-by: _condition
+        self._active_bytes = 0  # guarded-by: _condition
+        self._waiting = 0  # guarded-by: _condition
+        self._tenant_active: dict[str, int] = {}  # guarded-by: _condition
+        self._tenant_admitted: dict[str, int] = {}  # guarded-by: _condition
+        self._tenant_rejected: dict[str, int] = {}  # guarded-by: _condition
+        self._tenant_reserved_bytes: dict[str, int] = {}  # guarded-by: _condition
 
     @classmethod
     def from_config(cls, config) -> "Governor":
@@ -98,7 +98,7 @@ class Governor:
             return None
         return self.memory_budget_bytes * self.max_concurrent_queries
 
-    def _admissible(self, reserve_bytes: int, tenant: str | None = None) -> bool:
+    def _admissible(self, reserve_bytes: int, tenant: str | None = None) -> bool:  # requires-lock: _condition
         if self._active >= self.max_concurrent_queries:
             return False
         if (
@@ -110,7 +110,7 @@ class Governor:
         limit = self.aggregate_memory_limit
         return limit is None or self._active_bytes + reserve_bytes <= limit
 
-    def _record_rejection(self, tenant: str | None) -> None:
+    def _record_rejection(self, tenant: str | None) -> None:  # requires-lock: _condition
         self.rejected += 1
         if tenant is not None:
             self._tenant_rejected[tenant] = self._tenant_rejected.get(tenant, 0) + 1
@@ -201,8 +201,9 @@ class Governor:
             }
 
     def __repr__(self) -> str:
-        return (
-            f"Governor(slots={self.max_concurrent_queries}, "
-            f"active={self.active_queries}, admitted={self.admitted}, "
-            f"rejected={self.rejected})"
-        )
+        with self._condition:
+            return (
+                f"Governor(slots={self.max_concurrent_queries}, "
+                f"active={self._active}, admitted={self.admitted}, "
+                f"rejected={self.rejected})"
+            )

@@ -127,6 +127,11 @@ ENV_VARS: tuple[EnvVar, ...] = (
         "Base seed of the differential fuzz harness (one graph per seed).",
     ),
     EnvVar(
+        "REPRO_INTERLEAVE_SEEDS", "tests", "5",
+        "repro.testing.interleave",
+        "Number of seeded thread schedules the interleaving tests sweep (CI uses 10).",
+    ),
+    EnvVar(
         "REPRO_MEM_BUDGET", "runtime", "memory governance off",
         "repro.governor",
         "Per-query memory budget in bytes, when `ClusterConfig.memory_budget_bytes` is unset.",

@@ -79,7 +79,7 @@ def execute_batch(
     _share_scans(server, entries.values())
 
     results: list[ResultSet | None] = [None] * len(parsed_queries)
-    with server._stats_lock:
+    with server._lock:
         server.stats.queries_served += len(parsed_queries)
         server.stats.batched_queries += sum(
             len(members) - 1 for members in groups.values()
@@ -111,7 +111,7 @@ def _share_scans(server: QueryServer, entries) -> None:
         for name in distinct:
             warm_table(catalog.get(name))
     if shared:
-        with server._stats_lock:
+        with server._lock:
             server.stats.shared_scans += shared
 
 
@@ -134,10 +134,10 @@ def _rows_for(
     if cache.capacity:
         cached = cache.get((canonical, epoch))
         if cached is not None:
-            with server._stats_lock:
+            with server._lock:
                 server.stats.result_cache_hits += 1
             return cached.rows, cached.report
-        with server._stats_lock:
+        with server._lock:
             server.stats.result_cache_misses += 1
     try:
         with server.engine.governor.admit(tenant=tenant):
@@ -145,7 +145,7 @@ def _rows_for(
                 leader, entry.frame, entry.description, tracer=tracer, admitted=True
             )
     except AdmissionRejectedError:
-        with server._stats_lock:
+        with server._lock:
             server.stats.admission_rejections += 1
         raise
     rows = tuple(result.rows)

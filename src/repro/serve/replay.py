@@ -169,7 +169,7 @@ def run_replay(
             # only, not the warming pass.
             server.stats = ServerStats()
             for cache in (server._plan_cache, server._result_cache):
-                cache.hits = cache.misses = cache.evictions = 0
+                cache.reset_counters()
         phases[name] = _run_phase(server, pool, clients, requests_per_client, seed)
 
     cold_p50 = phases["cold"]["p50_ms"]

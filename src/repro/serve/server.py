@@ -154,12 +154,16 @@ class QueryServer:
             if max_queries_per_tenant < 1:
                 raise ValidationError("max_queries_per_tenant must be at least 1")
             engine.governor.max_queries_per_tenant = max_queries_per_tenant
-        self.stats = ServerStats()
+        # One server lock guards the stats object and both memo dicts; the
+        # LRU caches synchronize internally, and the engine's prepared-
+        # statement caches are guarded by the engine's own _cache_lock —
+        # so no path ever nests two of these locks (CC103 stays clean).
+        self._lock = threading.Lock()
+        self.stats = ServerStats()  # guarded-by: _lock
         self._plan_cache: LruCache[PlanEntry] = LruCache(plan_cache_size)
         self._result_cache: LruCache[ResultEntry] = LruCache(result_cache_size)
-        self._parse_cache: dict[str, SelectQuery] = {}
-        self._canonical_cache: dict[SelectQuery, SelectQuery] = {}
-        self._stats_lock = threading.Lock()
+        self._parse_cache: dict[str, SelectQuery] = {}  # guarded-by: _lock
+        self._canonical_cache: dict[SelectQuery, SelectQuery] = {}  # guarded-by: _lock
 
     # -- dataset lifecycle -------------------------------------------------------
 
@@ -182,13 +186,20 @@ class QueryServer:
     # -- serving -----------------------------------------------------------------
 
     def _parse(self, query: str | SelectQuery) -> SelectQuery:
-        """Parse text through the server's own memo (AST inputs pass through)."""
+        """Parse text through the server's own memo (AST inputs pass through).
+
+        Parsing itself runs outside the lock — it is pure, so two threads
+        racing on a cold entry at worst parse twice and agree; the lock
+        only makes the dict operations themselves safe.
+        """
         if isinstance(query, SelectQuery):
             return query
-        parsed = self._parse_cache.get(query)
+        with self._lock:
+            parsed = self._parse_cache.get(query)
         if parsed is None:
             parsed = parse_sparql(query)
-            self._parse_cache[query] = parsed
+            with self._lock:
+                self._parse_cache[query] = parsed
         return parsed
 
     def canonicalize_cached(self, parsed: SelectQuery) -> SelectQuery:
@@ -196,12 +207,15 @@ class QueryServer:
 
         Canonicalization is pure, so the memo (keyed by the hashable
         parsed query itself) makes repeated servings of the same query
-        skip the rename walk entirely.
+        skip the rename walk entirely; like :meth:`_parse`, the rename
+        walk runs outside the lock and only the memo access is guarded.
         """
-        canonical = self._canonical_cache.get(parsed)
+        with self._lock:
+            canonical = self._canonical_cache.get(parsed)
         if canonical is None:
             canonical = canonicalize(parsed)
-            self._canonical_cache[parsed] = canonical
+            with self._lock:
+                self._canonical_cache[parsed] = canonical
         return canonical
 
     def sparql(
@@ -220,13 +234,13 @@ class QueryServer:
             with self.engine.governor.admit(tenant=tenant):
                 return self._serve_admitted(parsed, tracer=tracer)
         except AdmissionRejectedError:
-            with self._stats_lock:
+            with self._lock:
                 self.stats.admission_rejections += 1
             raise
 
     def _serve_admitted(self, parsed: SelectQuery, tracer=None) -> ResultSet:
         """The cache-then-execute path, run while holding an admission slot."""
-        with self._stats_lock:
+        with self._lock:
             self.stats.queries_served += 1
         canonical = self.canonicalize_cached(parsed)
         epoch = self.engine.plan_epoch
@@ -235,12 +249,12 @@ class QueryServer:
         if self._result_cache.capacity:
             cached = self._result_cache.get((canonical, epoch))
             if cached is not None:
-                with self._stats_lock:
+                with self._lock:
                     self.stats.result_cache_hits += 1
                 # Positional rows are shared; only the variable names are
                 # per-caller (isomorphic queries hit the same entry).
                 return ResultSet(names, list(cached.rows), cached.report)
-            with self._stats_lock:
+            with self._lock:
                 self.stats.result_cache_misses += 1
 
         result = self._execute_with_plan_cache(parsed, canonical, epoch, tracer=tracer)
@@ -270,23 +284,21 @@ class QueryServer:
 
             if verify_cached_plan(entry.epoch, self.engine.plan_epoch):
                 self._plan_cache.evict((shape, epoch))
-                with self._stats_lock:
+                with self._lock:
                     self.stats.plan_cache_evictions += 1
                 entry = None
         if entry is not None:
-            with self._stats_lock:
+            with self._lock:
                 self.stats.plan_cache_hits += 1
             return entry
-        with self._stats_lock:
+        with self._lock:
             self.stats.plan_cache_misses += 1
         frame, description = self.engine.dataframe(canonical)
         entry = PlanEntry(frame, description, epoch)
         if self._plan_cache.capacity:
-            before = self._plan_cache.evictions
-            self._plan_cache.put((shape, epoch), entry)
-            lru_evicted = self._plan_cache.evictions - before
+            lru_evicted = self._plan_cache.put((shape, epoch), entry)
             if lru_evicted:
-                with self._stats_lock:
+                with self._lock:
                     self.stats.plan_cache_evictions += lru_evicted
         return entry
 
@@ -333,7 +345,9 @@ class QueryServer:
         return self.engine.governor.tenant_snapshot()
 
     def metrics_snapshot(self) -> dict[str, int | float]:
-        """Registry-named ``serve.*`` snapshot of :attr:`stats`."""
+        """Registry-named ``serve.*`` snapshot of :attr:`stats`, read
+        under the server lock so no counter is observed mid-update."""
         from ..obs.metrics import snapshot_server_stats
 
-        return snapshot_server_stats(self.stats)
+        with self._lock:
+            return snapshot_server_stats(self.stats)

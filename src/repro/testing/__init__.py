@@ -12,7 +12,11 @@ CLI subcommand. Three parts:
 - :mod:`~repro.testing.oracle` / :mod:`~repro.testing.differential` — a
   brute-force nested-loop reference oracle plus the runner that executes
   every generated query on all engines, asserts multiset-equal solutions,
-  and shrinks counterexamples to minimal (graph, query) pairs.
+  and shrinks counterexamples to minimal (graph, query) pairs;
+- :mod:`~repro.testing.interleave` — a seeded cooperative-interleaving
+  scheduler replaying deterministic thread schedules over the serving
+  layer (the dynamic counterpart of the static lockset checker in
+  :mod:`repro.analysis.concurrency`).
 
 Everything is deterministic given a seed: a failure report prints the seed
 and a one-command replay line.
@@ -33,6 +37,19 @@ from .differential import (
     serve_mode_from_env,
 )
 from .graphgen import GraphGenConfig, generate_graph
+from .interleave import (
+    INTERLEAVE_SEEDS_ENV,
+    DeadlockError,
+    InstrumentedLock,
+    InterleaveError,
+    InterleaveResult,
+    InterleaveScheduler,
+    SchedulerStallError,
+    instrument_methods,
+    interleave_seeds,
+    replay_instructions,
+    sweep,
+)
 from .oracle import BruteForceOracle
 from .querygen import QueryGenConfig, generate_query, serialize_query
 
@@ -40,19 +57,30 @@ __all__ = [
     "ALL_SYSTEMS",
     "CLUSTER_SYSTEMS",
     "BruteForceOracle",
+    "DeadlockError",
     "DifferentialMismatch",
     "DifferentialRunner",
     "FaultStats",
     "FuzzReport",
     "GraphGenConfig",
+    "INTERLEAVE_SEEDS_ENV",
+    "InstrumentedLock",
+    "InterleaveError",
+    "InterleaveResult",
+    "InterleaveScheduler",
     "QueryGenConfig",
+    "SchedulerStallError",
     "ServedProstEngine",
     "chaos_plan_seed",
     "chaos_seed_from_env",
     "fuzz_defaults",
     "generate_graph",
     "generate_query",
+    "instrument_methods",
+    "interleave_seeds",
+    "replay_instructions",
     "run_fuzz",
     "serialize_query",
     "serve_mode_from_env",
+    "sweep",
 ]

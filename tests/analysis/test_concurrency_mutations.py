@@ -1,0 +1,385 @@
+"""Mutation tests of the guarded-by/lockset checker: every CC code fires
+at the exact node path when its invariant is broken, and the shipped tree
+is CC-clean.
+
+Follows the verifier-mutation pattern (``test_verifier_mutations.py``):
+one deliberately broken fixture module per diagnostic, assertions on the
+exact (code, symbol, line) triple — line numbers located by source text so
+the fixtures stay editable — plus clean counter-fixtures proving the
+checker's exemptions (``# unguarded-ok``, condition predicates, consistent
+lock order) do not over-fire.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.concurrency import (
+    check_concurrency,
+    check_concurrency_sources,
+    check_module,
+)
+from repro.analysis.lint import load_source_files, run_lints
+
+
+def _write_package(root, modules: dict[str, str]):
+    """Materialize a ``repro``-shaped package from relative-path → source."""
+    package = root / "repro"
+    (package / "__init__.py").parent.mkdir(parents=True, exist_ok=True)
+    (package / "__init__.py").write_text("")
+    for relative, source in modules.items():
+        path = package / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        init = path.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+        path.write_text(textwrap.dedent(source))
+    return package
+
+
+def _line_of(source: str, needle: str) -> int:
+    """1-indexed line of the first line containing ``needle``."""
+    for index, line in enumerate(textwrap.dedent(source).splitlines(), start=1):
+        if needle in line:
+            return index
+    raise AssertionError(f"marker {needle!r} not in fixture")
+
+
+def _findings_for(tmp_path, relative: str, source: str):
+    package = _write_package(tmp_path, {relative: source})
+    sources = load_source_files(package)
+    (target,) = [s for s in sources if s.relative_name == relative]
+    return check_module(target)
+
+
+CC101_LEXICAL = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0  # guarded-by: _lock
+
+        def bump(self):
+            self.count += 1  # outside the lock
+"""
+
+CC101_INFERENCE = """
+    import threading
+
+    class Tally:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def add(self, n):
+            self.total += n  # first mutation
+
+        def reset(self):
+            self.total = 0
+"""
+
+CC101_REQUIRES = """
+    import threading
+
+    class Helper:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0  # guarded-by: _lock
+
+        def _bump_locked(self):  # requires-lock: _lock
+            self.value += 1
+
+        def bump(self):
+            self._bump_locked()  # caller holds nothing
+"""
+
+CC102_MISSING_LOCK = """
+    class Registry:
+        def __init__(self):
+            self.items = {}  # guarded-by: _mutex
+"""
+
+CC103_ORDER_INVERSION = """
+    import threading
+
+    class TwoLocks:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:  # opposite nesting order
+                    pass
+"""
+
+CC104_ESCAPE = """
+    import threading
+
+    class Exposing:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.entries = {}  # guarded-by: _lock
+
+        def all_entries(self):
+            with self._lock:
+                return self.entries  # reference escapes the lock
+"""
+
+CC105_BLOCKING = """
+    import threading
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.rows = {}  # guarded-by: _lock
+
+        def refresh(self, engine, query):
+            with self._lock:
+                self.rows[query] = engine.sparql(query)  # blocks under lock
+"""
+
+
+class TestEachCodeFires:
+    def test_cc101_lexical_access_outside_lock(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC101_LEXICAL)
+        assert finding.code == "CC101"
+        assert finding.symbol == "Counter.bump"
+        assert finding.line == _line_of(CC101_LEXICAL, "outside the lock")
+        assert "'count'" in finding.message and "_lock" in finding.message
+
+    def test_cc101_inference_multi_entry_mutation(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC101_INFERENCE)
+        assert finding.code == "CC101"
+        assert finding.symbol == "Tally.total"
+        assert finding.line == _line_of(CC101_INFERENCE, "first mutation")
+        assert "2 public entry points (add, reset)" in finding.message
+        assert "guarded-by" in finding.message
+
+    def test_cc101_requires_lock_call_site(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC101_REQUIRES)
+        assert finding.code == "CC101"
+        assert finding.symbol == "Helper.bump"
+        assert finding.line == _line_of(CC101_REQUIRES, "caller holds nothing")
+        assert "_bump_locked" in finding.message
+        assert "requires-lock" in finding.message
+
+    def test_cc102_guard_without_lock_attribute(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC102_MISSING_LOCK)
+        assert finding.code == "CC102"
+        assert finding.symbol == "Registry.items"
+        assert finding.line == _line_of(CC102_MISSING_LOCK, "guarded-by: _mutex")
+        assert "_mutex" in finding.message
+
+    def test_cc103_lock_order_inversion(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC103_ORDER_INVERSION)
+        assert finding.code == "CC103"
+        assert finding.symbol == "TwoLocks.backward"
+        assert finding.line == _line_of(
+            CC103_ORDER_INVERSION, "opposite nesting order"
+        )
+        assert "TwoLocks.forward" in finding.message
+        assert "deadlock" in finding.message
+
+    def test_cc104_guarded_container_escapes(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC104_ESCAPE)
+        assert finding.code == "CC104"
+        assert finding.symbol == "Exposing.all_entries"
+        assert finding.line == _line_of(CC104_ESCAPE, "escapes the lock")
+        assert "copy" in finding.message
+
+    def test_cc105_blocking_call_under_lock(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC105_BLOCKING)
+        assert finding.code == "CC105"
+        assert finding.symbol == "Stats.refresh"
+        assert finding.line == _line_of(CC105_BLOCKING, "blocks under lock")
+        assert "'sparql'" in finding.message and "_lock" in finding.message
+
+    def test_format_is_path_line_code_symbol(self, tmp_path):
+        (finding,) = _findings_for(tmp_path, "serve/bad.py", CC101_LEXICAL)
+        rendered = finding.format()
+        assert rendered.startswith(f"serve/bad.py:{finding.line}: CC101 ")
+        assert "[Counter.bump]" in rendered
+
+
+class TestExemptionsStayQuiet:
+    def test_well_locked_class_is_clean(self, tmp_path):
+        source = """
+            import threading
+
+            class Good:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def snapshot(self):
+                    with self._lock:
+                        return self.count
+        """
+        assert _findings_for(tmp_path, "serve/good.py", source) == []
+
+    def test_unguarded_ok_suppresses_inference(self, tmp_path):
+        source = """
+            import threading
+
+            class Diagnostic:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.last_report = None  # unguarded-ok: last-writer-wins
+
+                def record(self, report):
+                    self.last_report = report
+
+                def clear(self):
+                    self.last_report = None
+        """
+        assert _findings_for(tmp_path, "serve/good.py", source) == []
+
+    def test_condition_wait_predicate_keeps_the_lockset(self, tmp_path):
+        """The Governor.admit pattern: a lambda passed to wait_for runs
+        with the condition re-acquired, so guarded reads inside it are not
+        CC101 — and waiting on the lock you hold is not CC105."""
+        source = """
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._condition = threading.Condition()
+                    self.open_slots = 1  # guarded-by: _condition
+
+                def take(self):
+                    with self._condition:
+                        self._condition.wait_for(lambda: self.open_slots > 0)
+                        self.open_slots -= 1
+        """
+        assert _findings_for(tmp_path, "serve/good.py", source) == []
+
+    def test_consistent_nesting_order_is_not_cc103(self, tmp_path):
+        source = """
+            import threading
+
+            class Nested:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def first(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def second(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """
+        assert _findings_for(tmp_path, "serve/good.py", source) == []
+
+    def test_copy_return_is_not_cc104(self, tmp_path):
+        source = """
+            import threading
+
+            class Copying:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.entries = {}  # guarded-by: _lock
+
+                def all_entries(self):
+                    with self._lock:
+                        return dict(self.entries)
+        """
+        assert _findings_for(tmp_path, "serve/good.py", source) == []
+
+    def test_unannotated_lockless_class_is_skipped(self, tmp_path):
+        """A class with no lock and no guards is outside the analysis —
+        inference only activates once the class opts into locking."""
+        source = """
+            class Plain:
+                def __init__(self):
+                    self.total = 0
+
+                def add(self, n):
+                    self.total += n
+
+                def reset(self):
+                    self.total = 0
+        """
+        assert _findings_for(tmp_path, "serve/good.py", source) == []
+
+
+class TestScopeAndIntegration:
+    def test_out_of_scope_modules_are_not_scanned(self, tmp_path):
+        """The runner-facing pass only scans the serving data plane
+        (serve/, governor/, core/prost.py)."""
+        package = _write_package(tmp_path, {"engine/elsewhere.py": CC101_LEXICAL})
+        assert check_concurrency(load_source_files(package)) == []
+
+    def test_in_scope_paths_are_scanned(self, tmp_path):
+        package = _write_package(
+            tmp_path,
+            {
+                "serve/bad_serve.py": CC101_LEXICAL,
+                "governor/bad_governor.py": CC102_MISSING_LOCK,
+                "core/prost.py": CC105_BLOCKING,
+            },
+        )
+        findings = check_concurrency_sources(load_source_files(package))
+        assert sorted(f.code for f in findings) == ["CC101", "CC102", "CC105"]
+
+    def test_lint_runner_carries_the_code(self, tmp_path):
+        package = _write_package(
+            tmp_path,
+            {
+                "serve/bad.py": CC101_LEXICAL,
+                # The errors pass requires a top-level errors module.
+                "errors.py": "class ReproError(Exception):\n    pass\n",
+            },
+        )
+        violations = [v for v in run_lints(package) if v.rule == "concurrency"]
+        (violation,) = violations
+        assert violation.code == "CC101"
+        assert "[Counter.bump]" in violation.message
+        assert "CC101" in violation.format()
+
+    def test_shipped_tree_is_cc_clean(self):
+        findings = check_concurrency_sources(load_source_files())
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_shipped_tree_declares_real_guards(self):
+        """The annotations this PR added are actually in force: the model
+        sees guarded fields on the server, the caches, the governor, and
+        the engine."""
+        import ast
+
+        from repro.analysis.concurrency import build_class_model
+
+        sources = {s.relative_name: s for s in load_source_files()}
+        expectations = {
+            "serve/server.py": ("QueryServer", "_lock", "_parse_cache"),
+            "serve/cache.py": ("LruCache", "_lock", "_entries"),
+            "governor/admission.py": ("Governor", "_condition", "admitted"),
+            "core/prost.py": ("ProstEngine", "_cache_lock", "_plan_cache"),
+        }
+        for relative, (class_name, lock, guarded_field) in expectations.items():
+            source = sources[relative]
+            (node,) = [
+                n
+                for n in source.tree.body
+                if isinstance(n, ast.ClassDef) and n.name == class_name
+            ]
+            model = build_class_model(node, source.source.splitlines())
+            assert lock in model.lock_attrs, (relative, class_name)
+            assert guarded_field in model.guards, (relative, guarded_field)
+            assert model.guards[guarded_field].lock == lock

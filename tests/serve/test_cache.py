@@ -1,4 +1,8 @@
-"""The LRU cache: eviction order, counters, and the disabled state."""
+"""The LRU cache: eviction order, counters, the disabled state, and the
+stats invariants under genuinely concurrent access."""
+
+import random
+import threading
 
 import pytest
 
@@ -75,3 +79,117 @@ class TestLruCache:
         cache.get("a")
         cache.get("b")
         assert cache.hit_rate == 0.5
+
+    def test_put_reports_its_own_eviction(self):
+        """put() returns how many LRU entries *this* insert displaced, so
+        concurrent callers never need a racy before/after counter read."""
+        cache = LruCache(2)
+        assert cache.put("a", 1) == 0
+        assert cache.put("b", 2) == 0
+        assert cache.put("a", 10) == 0  # refresh, not an eviction
+        assert cache.put("c", 3) == 1  # displaces "b"
+        assert cache.evictions == 1
+
+    def test_reset_counters_keeps_entries(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.reset_counters()
+        assert cache.snapshot() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "size": 1,
+        }
+        assert cache.get("a") == 1
+
+    def test_snapshot_is_complete(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.snapshot() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "size": 2,
+        }
+
+
+class TestConcurrentHammering:
+    """N real threads hammering get/put/evict on a capacity-2 cache, with
+    barrier checkpoints asserting the cross-counter invariants on an
+    atomic :meth:`LruCache.snapshot` while every thread is quiesced."""
+
+    THREADS = 4
+    CHECKPOINTS = 5
+    OPS_PER_PHASE = 120
+    KEYS = tuple(f"k{i}" for i in range(6))
+
+    def test_stats_invariants_hold_at_every_checkpoint(self):
+        cache = LruCache(2)
+        # Per-thread exact op accounting, summed only while the barrier
+        # holds every worker parked (so the totals cannot be mid-update).
+        lookups = [0] * self.THREADS
+        puts = [0] * self.THREADS
+        explicit_evictions = [0] * self.THREADS
+        lru_evictions = [0] * self.THREADS
+        checks = {"count": 0}
+        errors: list[BaseException] = []
+
+        def checkpoint():
+            snapshot = cache.snapshot()
+            assert snapshot["hits"] >= 0 and snapshot["misses"] >= 0
+            assert snapshot["hits"] + snapshot["misses"] == sum(lookups), (
+                f"lookup accounting torn at checkpoint: {snapshot} "
+                f"vs {sum(lookups)} issued"
+            )
+            assert snapshot["size"] <= cache.capacity
+            assert (
+                snapshot["evictions"]
+                == sum(lru_evictions) + sum(explicit_evictions)
+            )
+            assert snapshot["evictions"] <= sum(puts) + sum(explicit_evictions)
+            checks["count"] += 1
+
+        barrier = threading.Barrier(self.THREADS, action=checkpoint)
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(worker_id)
+            try:
+                for _ in range(self.CHECKPOINTS):
+                    for _ in range(self.OPS_PER_PHASE):
+                        key = self.KEYS[rng.randrange(len(self.KEYS))]
+                        roll = rng.random()
+                        if roll < 0.5:
+                            cache.get(key)
+                            lookups[worker_id] += 1
+                        elif roll < 0.9:
+                            lru_evictions[worker_id] += cache.put(key, worker_id)
+                            puts[worker_id] += 1
+                        else:
+                            if cache.evict(key):
+                                explicit_evictions[worker_id] += 1
+                    barrier.wait()
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(worker_id,), name=f"hammer-{worker_id}")
+            for worker_id in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not any(thread.is_alive() for thread in threads)
+        if errors:
+            raise errors[0]
+        assert checks["count"] == self.CHECKPOINTS
+        final = cache.snapshot()
+        assert final["hits"] + final["misses"] == sum(lookups)
+        assert final["size"] <= cache.capacity

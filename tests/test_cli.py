@@ -359,3 +359,56 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestLint:
+    def test_shipped_tree_is_clean_text(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_json_output_on_clean_tree_is_empty_array(self, capsys):
+        import json
+
+        assert main(["lint", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == []
+        assert out.endswith("\n")
+
+    @pytest.fixture
+    def broken_root(self, tmp_path):
+        """A minimal package with exactly one (concurrency) violation."""
+        package = tmp_path / "repro"
+        (package / "serve").mkdir(parents=True)
+        (package / "__init__.py").write_text("")
+        (package / "errors.py").write_text("class ReproError(Exception):\n    pass\n")
+        (package / "serve" / "__init__.py").write_text("")
+        (package / "serve" / "bad.py").write_text(
+            "import threading\n"
+            "\n"
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.count = 0  # guarded-by: _lock\n"
+            "\n"
+            "    def bump(self):\n"
+            "        self.count += 1\n"
+        )
+        return package
+
+    def test_json_output_is_machine_readable(self, broken_root, capsys):
+        import json
+
+        assert main(["lint", "--json", "--root", str(broken_root)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (finding,) = payload
+        assert finding["path"] == "serve/bad.py"
+        assert finding["line"] == 9
+        assert finding["rule"] == "concurrency"
+        assert finding["code"] == "CC101"
+        assert "Counter.bump" in finding["message"]
+
+    def test_text_report_carries_the_code(self, broken_root, capsys):
+        assert main(["lint", "--root", str(broken_root)]) == 1
+        out = capsys.readouterr().out
+        assert "CC101" in out
+        assert "lint: 1 violation(s)" in out

@@ -1,9 +1,10 @@
-"""Docstring-coverage lint for the observability, engine, governance, and
-serving public API.
+"""Docstring-coverage lint for the observability, engine, governance,
+serving, vectorized-execution, and static-analysis public API.
 
 A hand-rolled ``ast`` walk (no third-party lint dependencies): every module
 under ``src/repro/obs/``, ``src/repro/engine/``, ``src/repro/governor/``,
-and ``src/repro/serve/`` must carry a module docstring, and every *public*
+``src/repro/serve/``, ``src/repro/vector/``, and ``src/repro/analysis/``
+(subpackages included) must carry a module docstring, and every *public*
 definition — module-level classes and functions, and the public methods of
 public classes — must be documented.
 Private names (leading underscore), dunders other than ``__init__``-bearing
@@ -21,13 +22,17 @@ LINTED_PACKAGES = (
     "src/repro/engine",
     "src/repro/governor",
     "src/repro/serve",
+    "src/repro/vector",
+    "src/repro/analysis",
 )
 
 
 def _linted_files():
     files = []
     for package in LINTED_PACKAGES:
-        files.extend(sorted((REPO_ROOT / package).glob("*.py")))
+        # rglob: repro.analysis has nested subpackages (lint/, concurrency/)
+        # whose public surface is just as load-bearing as the top level.
+        files.extend(sorted((REPO_ROOT / package).rglob("*.py")))
     assert files, "lint target packages missing"
     return files
 
